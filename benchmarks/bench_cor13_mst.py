@@ -1,0 +1,49 @@
+"""E5 (Corollary 1.3): MST — simultaneous round/message competitiveness.
+
+Paper claim: our MST is simultaneously round- and message-optimal; GHS-
+style baselines are message-optimal but pay Theta(n)-type rounds on
+high-diameter fragments.  We run both on a deep grid (fragments become
+long paths) and report the two-axis tradeoff.
+"""
+
+from repro.analysis import kruskal_mst
+from repro.algorithms import minimum_spanning_tree
+from repro.baselines import ghs_mst
+from repro.bench import print_table, record, run_once
+from repro.graphs import grid_2d, with_distinct_weights
+
+
+def test_mst_tradeoff(benchmark):
+    def experiment():
+        rows = []
+        data = {}
+        for label, net in (
+            ("grid 2x40", with_distinct_weights(grid_2d(2, 40), seed=15)),
+            ("grid 4x15", with_distinct_weights(grid_2d(4, 15), seed=16)),
+        ):
+            ref = kruskal_mst(net)
+            ours = minimum_spanning_tree(net, seed=17)
+            ghs = ghs_mst(net, seed=18)
+            assert set(ours.output) == ref and set(ghs.output) == ref
+            data[label] = (ours, ghs, net)
+            rows.append(
+                (label, net.exact_diameter(),
+                 ours.rounds, ours.messages,
+                 ghs.rounds, ghs.messages)
+            )
+        print_table(
+            "Corollary 1.3: MST rounds/messages, ours vs GHS baseline",
+            ["graph", "D", "ours rounds", "ours msgs",
+             "GHS rounds", "GHS msgs"],
+            rows,
+        )
+        return data
+
+    data = run_once(benchmark, experiment)
+    ours, ghs, net = data["grid 2x40"]
+    # Who-wins shape: GHS is message-cheaper but pays rounds well above
+    # the graph diameter on deep fragments; both are exact.
+    assert ghs.messages < ours.messages
+    assert ghs.rounds > 2 * net.exact_diameter()
+    record(benchmark, ours_rounds=ours.rounds, ghs_rounds=ghs.rounds,
+           ours_msgs=ours.messages, ghs_msgs=ghs.messages)

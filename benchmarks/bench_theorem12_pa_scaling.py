@@ -1,0 +1,56 @@
+"""E4 (Theorem 1.2): PA scaling on general graphs.
+
+Paper claim: O~(D + sqrt n) rounds and O~(m) messages.  We sweep n on a
+bounded-degree general family and report rounds / (D + sqrt n) and
+messages / m: both ratios should stay within polylog factors (flat-ish),
+rather than growing polynomially.
+"""
+
+import math
+
+from repro.bench import print_table, record, run_once
+from repro.core import SUM, PASolver
+from repro.graphs import random_connected_partition, random_regular_ish
+
+SIZES = (36, 64, 100, 144)
+
+
+def test_theorem12_scaling(benchmark):
+    def experiment():
+        rows = []
+        ratios = []
+        for n in SIZES:
+            net = random_regular_ish(n, 4, seed=11)
+            part = random_connected_partition(net, max(2, n // 10), seed=12)
+            solver = PASolver(net, seed=13)
+            setup = solver.prepare(part)
+            result = solver.solve(setup, [1] * n, SUM, charge_setup=False)
+            d = net.diameter_estimate()
+            round_ratio = result.rounds / (d + math.sqrt(n))
+            # Total messages include the one-time setup (construction is
+            # part of Theorem 1.2's budget).
+            total = result.rounds, result.messages + setup.setup_ledger.messages
+            msg_ratio = total[1] / net.m
+            ratios.append((round_ratio, msg_ratio))
+            rows.append(
+                (n, net.m, d, result.rounds, f"{round_ratio:.1f}",
+                 total[1], f"{msg_ratio:.1f}")
+            )
+        print_table(
+            "Theorem 1.2: PA scaling on general graphs",
+            ["n", "m", "D", "solve rounds", "rounds/(D+sqrt n)",
+             "total msgs", "msgs/m"],
+            rows,
+        )
+        return ratios
+
+    ratios = run_once(benchmark, experiment)
+    # Polylog envelope: the normalized ratios must not grow like a
+    # polynomial in n (factor-of-4 n growth allows only polylog ratio drift).
+    first_round, first_msg = ratios[0]
+    last_round, last_msg = ratios[-1]
+    growth = math.log2(SIZES[-1]) ** 2 / math.log2(SIZES[0]) ** 2
+    assert last_round <= max(first_round, 1.0) * 8 * growth
+    assert last_msg <= max(first_msg, 1.0) * 8 * growth
+    record(benchmark, round_ratios=[r for r, _ in ratios],
+           msg_ratios=[m for _, m in ratios])

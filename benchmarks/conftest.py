@@ -1,0 +1,13 @@
+"""Benchmark-wide configuration: always show the experiment tables."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _show_output(capsys):
+    yield
+    # Let the printed tables pass through to the terminal after each bench.
+    out = capsys.readouterr().out
+    if out:
+        import sys
+        sys.stdout.write(out)

@@ -1,0 +1,53 @@
+"""Scenario: self-diagnosing overlay network.
+
+An overlay maintains a spanning tree H and needs to verify, in-band, that
+H is still a spanning tree after churn; locate the network's weak point
+(approximate min cut); and give every node a distance estimate to the
+control node (approximate SSSP).  All three are Corollary applications of
+Part-Wise Aggregation (A.1, 1.4, 1.5).
+
+Run:  python examples/network_diagnostics.py
+"""
+
+from repro.algorithms import (
+    approx_min_cut,
+    approx_sssp,
+    verify_spanning_tree,
+)
+from repro.analysis import dijkstra, kruskal_mst, stoer_wagner_min_cut
+from repro.graphs import random_connected, with_random_weights
+
+
+def main() -> None:
+    net = with_random_weights(random_connected(50, 0.07, seed=21), seed=22)
+    print(f"overlay: n={net.n}, m={net.m}")
+
+    # 1. Spanning tree verification (Corollary A.1).
+    tree = list(kruskal_mst(net))
+    ok = verify_spanning_tree(net, tree, seed=23)
+    broken = verify_spanning_tree(net, tree[:-2], seed=24)
+    print(f"\nspanning-tree check (intact):  {ok.output} "
+          f"[{ok.rounds} rounds, {ok.messages} messages]")
+    print(f"spanning-tree check (2 links down): {broken.output}")
+
+    # 2. Weak point: approximate min cut (Corollary 1.4).
+    cut = approx_min_cut(net, epsilon=0.8, seed=25, max_trees=4)
+    exact = stoer_wagner_min_cut(net)
+    value, side = cut.output
+    print(f"\nmin-cut estimate: {value} (exact {exact}); "
+          f"{sum(side)} nodes on the small side")
+
+    # 3. Distances to the control node (Corollary 1.5).
+    control = 0
+    est = approx_sssp(net, control, beta=0.15, seed=26)
+    truth = dijkstra(net, control)
+    worst = max(
+        est.output[v] / truth[v] for v in range(1, net.n) if truth[v]
+    )
+    print(f"\nSSSP estimates from node {control}: worst stretch "
+          f"{worst:.3f} over {net.n - 1} nodes "
+          f"[{est.rounds} rounds, {est.messages} messages]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Scenario: backbone planning on a road-like planar network.
+
+A municipality wants a minimum-cost backbone (MST) over a planar road
+grid, computed *by the network itself* (Corollary 1.3), and compares the
+paper's PA-based Boruvka against a GHS-style baseline: the baseline is
+message-frugal but pays rounds proportional to fragment diameters, which
+on elongated road networks is the whole map.
+
+Run:  python examples/planar_road_network_mst.py
+"""
+
+from repro.algorithms import minimum_spanning_tree
+from repro.analysis import kruskal_mst, mst_weight
+from repro.baselines import ghs_mst
+from repro.graphs import grid_2d, with_random_weights
+
+
+def main() -> None:
+    # An elongated road grid: 3 avenues x 35 blocks, costs = road lengths.
+    net = with_random_weights(grid_2d(3, 35), max_weight=90, seed=11)
+    print(f"road network: n={net.n}, m={net.m}, "
+          f"D={net.exact_diameter()}")
+
+    ours = minimum_spanning_tree(net, seed=12)
+    baseline = ghs_mst(net, seed=13)
+    reference = kruskal_mst(net)
+
+    assert mst_weight(net, set(ours.output)) == mst_weight(net, reference)
+    assert mst_weight(net, set(baseline.output)) == mst_weight(net, reference)
+    print(f"backbone cost: {mst_weight(net, set(ours.output))} "
+          f"(verified against Kruskal)")
+
+    print("\n                     rounds    messages")
+    print(f"PA-based MST (ours) {ours.rounds:8d} {ours.messages:10d}")
+    print(f"GHS-style baseline  {baseline.rounds:8d} {baseline.messages:10d}")
+    print("\nThe baseline's fragments become ~map-length chains, so its")
+    print("round count tracks n; the PA version routes fragment traffic")
+    print("through low-congestion shortcuts instead (Corollary 1.3).")
+
+
+if __name__ == "__main__":
+    main()

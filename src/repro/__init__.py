@@ -1,0 +1,53 @@
+"""repro: reproduction of "Round- and Message-Optimal Distributed Graph
+Algorithms" (Haeupler, Hershkowitz, Wajc; PODC 2018).
+
+Public API tour:
+
+* ``repro.congest`` — the metered CONGEST simulator (Network, Engine,
+  CostLedger).
+* ``repro.graphs`` — workload generators, partitions, weights.
+* ``repro.core`` — Part-Wise Aggregation: shortcuts, sub-part divisions,
+  the Algorithm 1 waves, randomized and deterministic constructions
+  (Theorem 1.2; entry point :func:`repro.solve_pa`).
+* ``repro.algorithms`` — applications: MST, approximate min-cut,
+  approximate SSSP, graph verification, CDS, k-dominating sets
+  (Corollaries 1.3-1.5, A.1-A.3).
+* ``repro.baselines`` — prior-work comparators (block-aggregation PA,
+  flood PA, GHS-style MST).
+* ``repro.analysis`` — sequential reference oracles and the paper's
+  Table 1/2 bounds.
+"""
+
+from .congest import CostLedger, Engine, Network, PhaseStats
+from .core import (
+    MAX,
+    MIN,
+    MIN_TUPLE,
+    PAResult,
+    PASolver,
+    SUM,
+    Aggregation,
+    Shortcut,
+    solve_pa,
+)
+from .graphs import Partition
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Aggregation",
+    "CostLedger",
+    "Engine",
+    "MAX",
+    "MIN",
+    "MIN_TUPLE",
+    "Network",
+    "PAResult",
+    "PASolver",
+    "Partition",
+    "PhaseStats",
+    "SUM",
+    "Shortcut",
+    "solve_pa",
+    "__version__",
+]

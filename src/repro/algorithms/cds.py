@@ -1,0 +1,217 @@
+"""O(log n)-approximate Minimum Connected Dominating Set (Corollary A.2).
+
+Ghaffari [14] computes an O(log n)-approximate MCDS whose communication
+bottleneck is Thurimella-style connected-component labeling — i.e. PA.
+Per DESIGN.md substitution 7 we implement the classic unweighted variant
+with the same bottleneck structure:
+
+1. **Dominating set** by distributed greedy: O(log n) rounds of "join if
+   your (span, uid) is maximal within two hops", where span counts the
+   undominated closed neighborhood — the standard ln-Delta-approximate
+   greedy, parallelized by 2-hop symmetry breaking.
+2. **Connection** a la Guha-Khuller: cluster every node under an adjacent
+   dominator, then run Boruvka-over-PA on the cluster partition, adding
+   both endpoints of each chosen inter-cluster edge as connectors.  At
+   most two connectors per merge keeps the final size within 3x the
+   dominating set, preserving the O(log n) approximation against the CDS
+   optimum (which is at least the domination optimum).
+
+Every step is metered; the connection phase is where PA's
+O~(D + sqrt n) rounds / O~(m) messages dominate, as in the corollary.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..congest.engine import Context, Engine, Inbox, Program
+from ..congest.ledger import CostLedger, RunResult
+from ..congest.network import Network
+from ..graphs.partitions import partition_from_component_labels
+from ..core.aggregation import MIN, MIN_TUPLE
+from ..core.no_leader import PASuperOps, _CrossProgram
+from ..core.pa import PASolver, RANDOMIZED
+from ..core.star_joining import compute_star_joining
+
+
+class _SpanExchangeProgram(Program):
+    """Two rounds: spans to neighbors, then neighborhood maxima back out."""
+
+    name = "cds_span_exchange"
+
+    def __init__(self, net: Network, span: Sequence[int]) -> None:
+        self.net = net
+        self.span = span
+        self.best_seen: List[Tuple[int, int]] = [
+            (span[v], net.uid[v]) for v in range(net.n)
+        ]
+        self.best_two_hop: List[Tuple[int, int]] = list(self.best_seen)
+        self._phase_one_done = False
+
+    def on_start(self, ctx: Context) -> None:
+        for v in range(self.net.n):
+            for nb in self.net.neighbors[v]:
+                ctx.send(v, nb, ("sp", self.span[v], self.net.uid[v]))
+
+    def on_node(self, ctx: Context, node: int, inbox: Inbox) -> None:
+        rebroadcast = False
+        for _sender, payload in inbox:
+            tag = payload[0]
+            cand = (payload[1], payload[2])
+            if tag == "sp":
+                if cand > self.best_seen[node]:
+                    self.best_seen[node] = cand
+                rebroadcast = True
+            else:
+                if cand > self.best_two_hop[node]:
+                    self.best_two_hop[node] = cand
+        if rebroadcast:
+            if self.best_two_hop[node] < self.best_seen[node]:
+                self.best_two_hop[node] = self.best_seen[node]
+            span, uid = self.best_seen[node]
+            for nb in self.net.neighbors[node]:
+                ctx.send(node, nb, ("mx", span, uid))
+
+
+def _greedy_dominating_set(
+    net: Network, ledger: CostLedger, engine: Engine
+) -> Set[int]:
+    """Distributed greedy dominating set with 2-hop symmetry breaking."""
+    dominated = [False] * net.n
+    dominators: Set[int] = set()
+    cap = 4 * max(1, math.ceil(math.log2(max(2, net.n)))) + net.n
+    iteration = 0
+    while not all(dominated):
+        iteration += 1
+        if iteration > cap:
+            raise RuntimeError("greedy dominating set failed to converge")
+        span = [0] * net.n
+        for v in range(net.n):
+            count = 0 if dominated[v] else 1
+            count += sum(1 for nb in net.neighbors[v] if not dominated[nb])
+            span[v] = count
+        # One round so neighbors know each other's domination status is
+        # folded into the span computation above.
+        ledger.charge_local("cds_status_exchange", rounds=1, messages=2 * net.m)
+
+        exchange = _SpanExchangeProgram(net, span)
+        ledger.charge(engine.run(exchange, max_ticks=4))
+
+        joined = []
+        for v in range(net.n):
+            if span[v] == 0 or v in dominators:
+                continue
+            if (span[v], net.uid[v]) >= exchange.best_two_hop[v]:
+                joined.append(v)
+        for v in joined:
+            dominators.add(v)
+            dominated[v] = True
+            for nb in net.neighbors[v]:
+                dominated[nb] = True
+        # Joiners announce membership to their neighborhoods.
+        ledger.charge_local(
+            "cds_join_announce", rounds=1,
+            messages=sum(net.degree(v) for v in joined),
+        )
+    return dominators
+
+
+def connected_dominating_set(
+    net: Network,
+    mode: str = RANDOMIZED,
+    seed: int = 0,
+    solver: Optional[PASolver] = None,
+) -> RunResult:
+    """Compute an O(log n)-approximate CDS; returns the node set."""
+    solver = solver or PASolver(net, mode=mode, seed=seed)
+    ledger = CostLedger()
+    ledger.merge(solver.tree_ledger, prefix="tree:")
+    engine = solver.engine
+    n = net.n
+
+    dominators = _greedy_dominating_set(net, ledger, engine)
+    cds: Set[int] = set(dominators)
+    if n == 1:
+        return RunResult(output=frozenset(cds or {0}), ledger=ledger, meta={})
+
+    # Cluster every node under its minimum-uid adjacent dominator.
+    cluster: List[int] = [-1] * n
+    for v in range(n):
+        if v in dominators:
+            cluster[v] = v
+            continue
+        candidates = [nb for nb in net.neighbors[v] if nb in dominators]
+        cluster[v] = min(candidates, key=lambda u: net.uid[u])
+    ledger.charge_local("cds_cluster_assign", rounds=1, messages=2 * net.m)
+
+    # Boruvka-over-PA on clusters: each phase every cluster component picks
+    # one outgoing edge; both endpoints become connectors; coin merging.
+    import random as _random
+
+    rng = _random.Random(seed ^ 0xCD5)
+    comp = list(cluster)
+    cap = 4 * max(1, math.ceil(math.log2(max(2, n)))) + 8
+    for _phase in range(cap):
+        partition = partition_from_component_labels(comp)
+        if partition.num_parts == 1:
+            break
+        setup = solver.prepare(partition)
+        ledger.merge(setup.setup_ledger, prefix="cds_setup:")
+
+        values: List[object] = [None] * n
+        for v in range(n):
+            for nb in net.neighbors[v]:
+                if comp[nb] == comp[v]:
+                    continue
+                cand = (net.uid[v], net.uid[nb])
+                if values[v] is None or cand < values[v]:
+                    values[v] = cand
+        picked = solver.solve(
+            setup, values, MIN_TUPLE, charge_setup=False,
+            phase_prefix="cds_pick",
+        )
+        ledger.merge(picked.ledger)
+
+        coins = {
+            sid: rng.random() < 0.5 for sid in range(partition.num_parts)
+        }
+        merged_any = False
+        for sid in range(partition.num_parts):
+            choice = picked.aggregates.get(sid)
+            if choice is None or coins[sid]:
+                continue
+            uid_u, uid_nb = choice
+            u = net.node_of_uid(uid_u)
+            v_nb = net.node_of_uid(uid_nb)
+            target_sid = partition.part_of[v_nb]
+            if not coins[target_sid]:
+                continue
+            cds.add(u)
+            cds.add(v_nb)
+            target_rep = comp[partition.members[target_sid][0]]
+            for v in partition.members[sid]:
+                comp[v] = target_rep
+            merged_any = True
+        # Coin spread + exchange accounting (one PA broadcast equivalent
+        # plus one round over chosen edges).
+        spread = solver.solve(
+            setup,
+            [coins[partition.part_of[v]] * 1 if v == setup.leaders[partition.part_of[v]] else None for v in range(n)],
+            MIN,
+            charge_setup=False,
+            phase_prefix="cds_coins",
+        )
+        ledger.merge(spread.ledger)
+        ledger.charge_local("cds_coin_exchange", rounds=2,
+                            messages=2 * partition.num_parts)
+        if not merged_any:
+            continue
+    else:
+        raise RuntimeError("CDS connection phase did not converge")
+
+    return RunResult(
+        output=frozenset(cds),
+        ledger=ledger,
+        meta={"dominators": frozenset(dominators), "connectors": len(cds) - len(dominators)},
+    )

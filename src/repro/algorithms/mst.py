@@ -1,0 +1,247 @@
+"""Minimum Spanning Tree via Part-Wise Aggregation (Corollary 1.3).
+
+Boruvka's algorithm [34], with fragments as PA parts: every phase, each
+fragment finds its minimum-weight outgoing edge (MOE) with one PA solve
+(the tuple ``(weight, uid_u, uid_v)`` under lexicographic MIN), merges
+fragments along chosen MOEs, and relabels — O(log n) phases, each costing
+O~(PA) (Theorem 1.2's pipeline is rebuilt per phase because the partition
+changes; the BFS tree ``T`` is built once).
+
+Two merging disciplines, both controlling fragment-chain formation:
+
+* ``"coin"`` (default for randomized mode): each fragment flips a fair
+  coin; tails fragments whose MOE points at a heads fragment merge into
+  it.  A quarter of fragments merge in expectation — the classic
+  randomized symmetry breaking.
+* ``"star"`` (default for deterministic mode): Algorithm 5's star joining
+  over the MOE digraph, with Cole-Vishkin color exchanges routed through
+  PA (the same machinery as Algorithm 9).
+
+An MOE is added to the tree exactly when its fragment merges along it, so
+the output has exactly n-1 edges and equals the (unique, under distinct
+weights) MST — verified against Kruskal in the tests.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..congest.engine import Context, Engine, Inbox, Program
+from ..congest.ledger import CostLedger, RunResult
+from ..congest.network import Network, canonical_edge
+from ..graphs.partitions import Partition, partition_from_component_labels
+from ..core.aggregation import MIN, MIN_TUPLE, OR
+from ..core.no_leader import PASuperOps, _CrossProgram
+from ..core.pa import DETERMINISTIC, PASolver, RANDOMIZED
+from ..core.star_joining import SuperEdge, compute_star_joining
+from ..core.treeops import broadcast as tree_broadcast
+from ..core.treeops import convergecast as tree_convergecast
+
+COIN = "coin"
+STAR = "star"
+
+
+def _moe_values(
+    net: Network, comp: Sequence[int]
+) -> List[Optional[Tuple[int, int, int]]]:
+    """Per-node candidate MOE: min (weight, uid_v, uid_nb) over out-edges."""
+    values: List[Optional[Tuple[int, int, int]]] = [None] * net.n
+    for v in range(net.n):
+        best = None
+        for nb in net.neighbors[v]:
+            if comp[nb] == comp[v]:
+                continue
+            cand = (net.weight(v, nb), net.uid[v], net.uid[nb])
+            if best is None or cand < best:
+                best = cand
+        values[v] = best
+    return values
+
+
+def minimum_spanning_tree(
+    net: Network,
+    mode: str = RANDOMIZED,
+    seed: int = 0,
+    merging: Optional[str] = None,
+    solver: Optional[PASolver] = None,
+    max_phases: Optional[int] = None,
+) -> RunResult:
+    """Distributed MST; returns the edge set with a fully metered ledger.
+
+    The network must be connected and weighted.  ``merging`` defaults to
+    coin flips in randomized mode and star joinings in deterministic mode.
+    """
+    if net.weights is None:
+        raise ValueError("MST requires a weighted network")
+    if merging is None:
+        merging = COIN if mode == RANDOMIZED else STAR
+    solver = solver or PASolver(net, mode=mode, seed=seed)
+    rng = random.Random(seed ^ 0xB0B)
+    ledger = CostLedger()
+    ledger.merge(solver.tree_ledger, prefix="tree:")
+
+    n = net.n
+    comp: List[int] = list(range(n))        # fragment representative node
+    leader_of: List[int] = list(range(n))   # fragment leader node
+    mst_edges: Set[Tuple[int, int]] = set()
+
+    if max_phases is None:
+        max_phases = 4 * max(1, math.ceil(math.log2(max(2, n)))) + 8
+
+    for phase in range(1, max_phases + 1):
+        partition = partition_from_component_labels(comp)
+        if partition.num_parts == 1:
+            break
+        leaders = [leader_of[members[0]] for members in partition.members]
+
+        # Every node refreshes which neighbors are outside its fragment
+        # (one announce round; the PA input knowledge of Definition 1.1).
+        ledger.charge_local("mst_neighbor_exchange", rounds=1, messages=2 * net.m)
+
+        setup = solver.prepare(partition, leaders=leaders)
+        ledger.merge(setup.setup_ledger, prefix=f"phase{phase}_setup:")
+
+        moe = solver.solve(
+            setup, _moe_values(net, comp), MIN_TUPLE, charge_setup=False,
+            phase_prefix=f"phase{phase}_moe",
+        )
+        ledger.merge(moe.ledger)
+
+        chosen: Dict[int, SuperEdge] = {}
+        for sid, choice in moe.aggregates.items():
+            if choice is None:
+                continue
+            _w, uid_u, uid_nb = choice
+            u = net.node_of_uid(uid_u)
+            v_nb = net.node_of_uid(uid_nb)
+            chosen[sid] = (u, v_nb, partition.part_of[v_nb])
+        if not chosen:
+            break
+
+        if merging == COIN:
+            merges = _coin_merges(
+                solver, setup, partition, chosen, rng, ledger, phase
+            )
+        else:
+            merges = _star_merges(solver, setup, partition, chosen, ledger)
+
+        if not merges and merging == COIN:
+            continue  # unlucky coins; retry next phase
+
+        # Merging fragments mark their MOE (one round over those edges) and
+        # relabel via a PA broadcast of the new identity.
+        mark_sends = []
+        relabel_values: List[object] = [None] * n
+        for sid, target_sid in merges.items():
+            u, v_nb, _t = chosen[sid]
+            mark_sends.append((u, v_nb, ("mark",)))
+            new_leader = leaders[target_sid]
+            target_rep = comp[partition.members[target_sid][0]]
+            relabel_values[u] = (net.uid[new_leader], net.uid[target_rep])
+            mst_edges.add(canonical_edge(u, v_nb))
+        mark = _CrossProgram(mark_sends)
+        mark.name = "mst_mark"
+        ledger.charge(solver.engine.run(mark, max_ticks=2))
+
+        relabel = solver.solve(
+            setup, relabel_values, MIN, charge_setup=False,
+            phase_prefix=f"phase{phase}_relabel",
+        )
+        ledger.merge(relabel.ledger)
+        for sid, update in relabel.aggregates.items():
+            if update is None or sid not in merges:
+                continue
+            new_leader_uid, new_rep_uid = update
+            new_leader = net.node_of_uid(new_leader_uid)
+            new_rep = net.node_of_uid(new_rep_uid)
+            for v in partition.members[sid]:
+                comp[v] = new_rep
+                leader_of[v] = new_leader
+
+        # Termination detection: convergecast "any fragment still active"
+        # over the global BFS tree (O(D) rounds, O(n) messages).
+        det_values = [1 if comp[v] != comp[0] else 0 for v in range(n)]
+        at_root, _ = tree_convergecast(
+            solver.engine, solver.tree, OR, det_values, ledger,
+            name="mst_termination",
+        )
+        if not at_root.get(solver.tree.roots[0], 0):
+            break
+
+    partition = partition_from_component_labels(comp)
+    if partition.num_parts != 1:
+        raise RuntimeError("MST did not converge within the phase budget")
+    if len(mst_edges) != n - 1:
+        raise RuntimeError(
+            f"MST has {len(mst_edges)} edges, expected {n - 1}"
+        )
+    return RunResult(
+        output=frozenset(mst_edges),
+        ledger=ledger,
+        meta={"phases": phase, "mode": mode, "merging": merging},
+    )
+
+
+def _coin_merges(
+    solver: PASolver,
+    setup,
+    partition: Partition,
+    chosen: Dict[int, SuperEdge],
+    rng: random.Random,
+    ledger: CostLedger,
+    phase: int,
+) -> Dict[int, int]:
+    """Coin-flip symmetry breaking: tails merge into heads they point at.
+
+    Leaders flip; one PA broadcast spreads each fragment's coin to all
+    members; a two-round exchange over MOE edges tells each tail endpoint
+    its target's coin.  Returns {merging sid: target sid}.
+    """
+    net = solver.net
+    coins = {sid: rng.random() < 0.5 for sid in range(partition.num_parts)}
+
+    values: List[object] = [None] * net.n
+    for sid in range(partition.num_parts):
+        values[setup.leaders[sid]] = 1 if coins[sid] else 0
+    spread = solver.solve(
+        setup, values, MIN, charge_setup=False,
+        phase_prefix=f"phase{phase}_coins",
+    )
+    ledger.merge(spread.ledger)
+
+    # MOE endpoints exchange coins across the chosen edges (both endpoints
+    # already know their own fragment's coin from the broadcast).  Mutual
+    # MOE pairs schedule the same directed edge twice with identical
+    # payloads; dedupe keeps the per-edge capacity honest.
+    sends: Dict[Tuple[int, int], Tuple[int, int, object]] = {}
+    for sid, (u, v_nb, _t) in chosen.items():
+        sends[(u, v_nb)] = (u, v_nb, ("coin", 1 if coins[sid] else 0))
+        target_coin = coins[partition.part_of[v_nb]]
+        sends.setdefault(
+            (v_nb, u), (v_nb, u, ("coin", 1 if target_coin else 0))
+        )
+    program = _CrossProgram(list(sends.values()))
+    program.name = "mst_coin_exchange"
+    ledger.charge(solver.engine.run(program, max_ticks=2))
+
+    merges: Dict[int, int] = {}
+    for sid, (u, v_nb, target_sid) in chosen.items():
+        if not coins[sid] and coins[target_sid]:
+            merges[sid] = target_sid
+    return merges
+
+
+def _star_merges(
+    solver: PASolver,
+    setup,
+    partition: Partition,
+    chosen: Dict[int, SuperEdge],
+    ledger: CostLedger,
+) -> Dict[int, int]:
+    """Deterministic merging: Algorithm 5 over the MOE digraph."""
+    ops = PASuperOps(solver, setup, chosen, ledger, phase_prefix="mst_star")
+    ops.announce_requests()
+    _receivers, joins = compute_star_joining(ops, set(chosen))
+    return {sid: edge[2] for sid, edge in joins.items()}

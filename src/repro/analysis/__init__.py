@@ -1,0 +1,33 @@
+"""Sequential reference oracles and the paper's theoretical envelopes."""
+
+from .reference import (
+    dijkstra,
+    exact_min_dominating_set_size,
+    greedy_dominating_set_size,
+    kruskal_mst,
+    mst_weight,
+    stoer_wagner_min_cut,
+)
+from .theory import (
+    TABLE1,
+    TABLE2_DETERMINISTIC,
+    TABLE2_RANDOMIZED,
+    FamilyBounds,
+    general_round_envelope,
+    polylog,
+)
+
+__all__ = [
+    "FamilyBounds",
+    "TABLE1",
+    "TABLE2_DETERMINISTIC",
+    "TABLE2_RANDOMIZED",
+    "dijkstra",
+    "exact_min_dominating_set_size",
+    "general_round_envelope",
+    "greedy_dominating_set_size",
+    "kruskal_mst",
+    "mst_weight",
+    "polylog",
+    "stoer_wagner_min_cut",
+]

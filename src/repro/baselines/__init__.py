@@ -1,0 +1,7 @@
+"""Prior-work comparators: block-aggregation PA, flood PA, GHS-style MST."""
+
+from .flood_pa import flood_pa
+from .ghs_mst import ghs_mst
+from .naive_block_pa import block_aggregation_pa
+
+__all__ = ["block_aggregation_pa", "flood_pa", "ghs_mst"]

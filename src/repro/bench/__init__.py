@@ -1,0 +1,5 @@
+"""Benchmark harness: tables, metric recording, single-shot timing."""
+
+from .harness import fmt_ratio, print_table, record, run_once
+
+__all__ = ["fmt_ratio", "print_table", "record", "run_once"]

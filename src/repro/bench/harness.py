@@ -1,0 +1,49 @@
+"""Benchmark harness helpers.
+
+pytest-benchmark measures wall time, which is a property of the simulator,
+not of the algorithms; the quantities the paper is about are *rounds* and
+*messages*.  Each benchmark therefore runs its workload once through
+``measure`` (so pytest-benchmark has a timing), stores the distributed
+metrics in ``benchmark.extra_info``, and prints the table/series rows the
+experiment reproduces.  EXPERIMENTS.md is written from these printouts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Print an aligned table under a title banner (captured by pytest -s)."""
+    rows = [tuple(str(cell) for cell in row) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    print(f"\n== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+
+
+def record(benchmark, **metrics) -> None:
+    """Stash distributed metrics in the pytest-benchmark report."""
+    for key, value in metrics.items():
+        benchmark.extra_info[key] = value
+
+
+def run_once(benchmark, fn: Callable[[], object]) -> object:
+    """Run ``fn`` exactly once under the benchmark timer; return its result."""
+    box: Dict[str, object] = {}
+
+    def wrapper():
+        box["result"] = fn()
+
+    benchmark.pedantic(wrapper, rounds=1, iterations=1)
+    return box["result"]
+
+
+def fmt_ratio(value: float) -> str:
+    return f"{value:.2f}"

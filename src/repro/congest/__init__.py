@@ -1,0 +1,49 @@
+"""The CONGEST-model substrate: network, synchronous engine, cost ledger.
+
+This subpackage is the simulator the whole reproduction runs on.  It knows
+nothing about shortcuts or Part-Wise Aggregation; it only provides:
+
+* :class:`Network` — the static topology with KT0 unique ids and weights;
+* :class:`Engine` / :class:`Program` — synchronous message-passing
+  execution with per-edge capacity and per-message bit budgets enforced;
+* :class:`CostLedger` / :class:`PhaseStats` — metered rounds and messages.
+"""
+
+from .engine import Context, Engine, FunctionProgram, Inbox, Program
+from .errors import (
+    BandwidthExceededError,
+    ChannelCapacityError,
+    CongestError,
+    InvalidPartitionError,
+    NotAnEdgeError,
+    RoundLimitExceededError,
+    ShortcutValidationError,
+)
+from .ledger import CostLedger, PhaseStats, RunResult, merge_max_rounds
+from .message import int_bits, message_bit_limit, payload_bits
+from .network import Network, canonical_edge, network_from_networkx
+
+__all__ = [
+    "BandwidthExceededError",
+    "ChannelCapacityError",
+    "CongestError",
+    "Context",
+    "CostLedger",
+    "Engine",
+    "FunctionProgram",
+    "Inbox",
+    "InvalidPartitionError",
+    "Network",
+    "NotAnEdgeError",
+    "PhaseStats",
+    "Program",
+    "RoundLimitExceededError",
+    "RunResult",
+    "ShortcutValidationError",
+    "canonical_edge",
+    "int_bits",
+    "merge_max_rounds",
+    "message_bit_limit",
+    "network_from_networkx",
+    "payload_bits",
+]

@@ -1,0 +1,229 @@
+"""The synchronous CONGEST execution engine.
+
+A *program* (see :class:`Program`) is a state machine over all nodes: the
+engine calls ``on_start`` once, then repeatedly delivers the previous
+round's messages to their recipients and invokes ``on_node`` for every node
+that has mail or requested a wakeup.  The engine enforces the CONGEST
+constraints — messages travel only along edges, at most ``capacity``
+messages per directed edge per round, at most O(log n) bits per payload —
+and meters every message into a :class:`~repro.congest.ledger.PhaseStats`.
+
+Meta-rounds (Section 4.2 of the paper): the randomized PA variant lets a
+node forward O(log n) messages per edge per "meta-round", each meta-round
+costing O(log n) real CONGEST rounds.  The engine models this with
+``capacity=kappa`` and ``rounds_per_tick=kappa``: one engine tick then
+charges kappa rounds, which is exactly the paper's accounting.
+
+The orchestrator (ordinary Python code between phases) may sequence phases
+and precompute static structure, but all *communication* happens here.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .errors import (
+    BandwidthExceededError,
+    ChannelCapacityError,
+    NotAnEdgeError,
+    RoundLimitExceededError,
+)
+from .ledger import PhaseStats
+from .message import payload_bits
+from .network import Network
+
+#: (sender, payload) pairs as delivered to a node in one round.
+Inbox = Tuple[Tuple[int, object], ...]
+
+
+class Context:
+    """Per-phase API handed to node programs.
+
+    Programs interact with the world exclusively through this object:
+    ``send`` schedules a message for delivery next tick, ``wake`` schedules
+    a spontaneous activation of a node next tick (used for timers such as
+    the random part delays of the randomized PA variant).
+    """
+
+    __slots__ = ("network", "tick", "_outbox", "_wakeups", "_strict_bits")
+
+    def __init__(self, network: Network, strict_bits: bool) -> None:
+        self.network = network
+        self.tick = 0
+        self._outbox: List[Tuple[int, int, object]] = []
+        self._wakeups: set = set()
+        self._strict_bits = strict_bits
+
+    def send(self, src: int, dst: int, payload: object) -> None:
+        """Schedule ``payload`` on directed edge (src, dst) for next tick."""
+        if not self.network.has_edge(src, dst):
+            raise NotAnEdgeError(src, dst)
+        if self._strict_bits:
+            bits = payload_bits(payload)
+            if bits > self.network.message_bits:
+                raise BandwidthExceededError(
+                    src, dst, bits, self.network.message_bits
+                )
+        self._outbox.append((src, dst, payload))
+
+    def wake(self, node: int) -> None:
+        """Ensure ``node`` is activated next tick even without mail."""
+        self._wakeups.add(node)
+
+    def wake_at(self, node: int, tick: int) -> None:
+        """Request activation of ``node`` at an absolute future tick.
+
+        Implemented by re-waking each tick until the target is reached; the
+        caller's ``on_node`` should check ``ctx.tick`` itself.  Provided as
+        a convenience for delay-based programs.
+        """
+        # The engine has no timer wheel; programs re-arm themselves.  This
+        # helper only validates the request.
+        if tick <= self.tick:
+            raise ValueError("wake_at requires a future tick")
+        self._wakeups.add(node)
+
+
+class Program:
+    """Base class for engine programs.
+
+    Subclasses override :meth:`on_start` (inject initial messages/wakeups)
+    and :meth:`on_node` (per-node transition function).  A program signals
+    completion passively: the phase ends when no messages are in flight and
+    no wakeups are pending.
+    """
+
+    #: Descriptive name used in ledgers and error messages.
+    name: str = "program"
+
+    def on_start(self, ctx: Context) -> None:
+        """Inject round-0 messages and wakeups."""
+
+    def on_node(self, ctx: Context, node: int, inbox: Inbox) -> None:
+        """Process one node's mail for the current tick."""
+        raise NotImplementedError
+
+
+class Engine:
+    """Runs programs on a network and meters their cost.
+
+    Parameters
+    ----------
+    network:
+        The communication graph.
+    strict_bits:
+        Validate every payload against the O(log n)-bit budget.  On by
+        default; benchmarks on large inputs may disable it for speed after
+        the test suite has pinned payload sizes.
+    """
+
+    def __init__(self, network: Network, strict_bits: bool = True) -> None:
+        self.network = network
+        self.strict_bits = strict_bits
+
+    def run(
+        self,
+        program: Program,
+        max_ticks: int,
+        capacity: int = 1,
+        rounds_per_tick: int = 1,
+        name: Optional[str] = None,
+    ) -> PhaseStats:
+        """Execute ``program`` to quiescence and return its metered cost.
+
+        ``capacity`` is the per-directed-edge, per-tick message cap
+        (CONGEST: 1).  ``rounds_per_tick`` is how many CONGEST rounds one
+        engine tick represents; the randomized meta-round mode uses
+        ``capacity == rounds_per_tick == Theta(log n)``.
+
+        Raises :class:`RoundLimitExceededError` if the program does not
+        quiesce within ``max_ticks`` ticks.
+        """
+        phase_name = name or program.name
+        ctx = Context(self.network, self.strict_bits)
+        program.on_start(ctx)
+
+        total_messages = 0
+        ticks = 0
+
+        while ctx._outbox or ctx._wakeups:
+            if ticks >= max_ticks:
+                raise RoundLimitExceededError(phase_name, max_ticks)
+            ticks += 1
+            ctx.tick = ticks
+
+            outbox = ctx._outbox
+            wakeups = ctx._wakeups
+            ctx._outbox = []
+            ctx._wakeups = set()
+
+            total_messages += len(outbox)
+
+            # Group by recipient; enforce per-directed-edge capacity.
+            inboxes: Dict[int, List[Tuple[int, object]]] = defaultdict(list)
+            if capacity == 1:
+                seen_edges = set()
+                for src, dst, payload in outbox:
+                    key = (src, dst)
+                    if key in seen_edges:
+                        raise ChannelCapacityError(src, dst, 2, capacity)
+                    seen_edges.add(key)
+                    inboxes[dst].append((src, payload))
+            else:
+                edge_load: Dict[Tuple[int, int], int] = defaultdict(int)
+                for src, dst, payload in outbox:
+                    key = (src, dst)
+                    edge_load[key] += 1
+                    if edge_load[key] > capacity:
+                        raise ChannelCapacityError(
+                            src, dst, edge_load[key], capacity
+                        )
+                    inboxes[dst].append((src, payload))
+
+            # Deterministic activation order: sorted node ids; inboxes
+            # sorted by sender.  Programs must not rely on this for
+            # correctness, but it makes every run reproducible.
+            active = sorted(set(inboxes.keys()) | wakeups)
+            for node in active:
+                mail = inboxes.get(node)
+                if mail is None:
+                    inbox: Inbox = ()
+                elif len(mail) == 1:
+                    inbox = (mail[0],)
+                else:
+                    mail.sort(key=lambda item: item[0])
+                    inbox = tuple(mail)
+                program.on_node(ctx, node, inbox)
+
+        return PhaseStats(
+            name=phase_name,
+            rounds=ticks * rounds_per_tick,
+            messages=total_messages,
+            ticks=ticks,
+        )
+
+
+class FunctionProgram(Program):
+    """Adapter turning plain functions into a :class:`Program`.
+
+    Useful for small one-off phases and for tests::
+
+        prog = FunctionProgram("ping", start, step)
+    """
+
+    def __init__(
+        self,
+        name: str,
+        on_start: Callable[[Context], None],
+        on_node: Callable[[Context, int, Inbox], None],
+    ) -> None:
+        self.name = name
+        self._on_start = on_start
+        self._on_node = on_node
+
+    def on_start(self, ctx: Context) -> None:
+        self._on_start(ctx)
+
+    def on_node(self, ctx: Context, node: int, inbox: Inbox) -> None:
+        self._on_node(ctx, node, inbox)

@@ -1,0 +1,146 @@
+"""Round and message accounting.
+
+Every communication phase run on the engine reports a :class:`PhaseStats`;
+an algorithm accumulates them into a :class:`CostLedger`.  The ledger is the
+ground truth for every number reported in EXPERIMENTS.md: benchmarks read
+``ledger.rounds`` and ``ledger.messages``, never closed-form formulas.
+
+Rounds compose *sequentially* across phases (synchronous algorithms run
+phase k+1 after a globally known round bound for phase k), so the ledger
+simply sums them.  Phases that conceptually run in parallel on disjoint
+parts of the graph are implemented as a single engine phase, so no special
+"parallel composition" accounting is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class PhaseStats:
+    """Metered cost of one engine phase.
+
+    ``rounds`` already includes any meta-round blowup (an engine tick with
+    per-edge capacity kappa > 1 models kappa CONGEST rounds, as in the
+    randomized variant of Section 4.2).
+    """
+
+    name: str
+    rounds: int
+    messages: int
+    ticks: int = 0
+
+    def __add__(self, other: "PhaseStats") -> "PhaseStats":
+        return PhaseStats(
+            name=self.name,
+            rounds=self.rounds + other.rounds,
+            messages=self.messages + other.messages,
+            ticks=self.ticks + other.ticks,
+        )
+
+
+class CostLedger:
+    """Accumulates phase costs for one algorithm execution.
+
+    The ledger keeps both the running totals and the full phase log so that
+    benchmarks can break a cost down by pipeline stage (e.g. "how many
+    messages did shortcut construction use vs. the PA waves?").
+    """
+
+    def __init__(self) -> None:
+        self._phases: List[PhaseStats] = []
+        self.rounds: int = 0
+        self.messages: int = 0
+
+    def charge(self, stats: PhaseStats) -> PhaseStats:
+        """Record one phase and add it to the totals."""
+        self._phases.append(stats)
+        self.rounds += stats.rounds
+        self.messages += stats.messages
+        return stats
+
+    def charge_local(self, name: str, rounds: int = 0, messages: int = 0) -> PhaseStats:
+        """Charge a cost known without running the engine.
+
+        Used for steps whose cost is structural and exact, e.g. "every node
+        tells each neighbor its new component id" (1 round, 2m messages).
+        """
+        stats = PhaseStats(name=name, rounds=rounds, messages=messages)
+        return self.charge(stats)
+
+    def merge(self, other: "CostLedger", prefix: str = "") -> None:
+        """Fold another ledger (e.g. of a sub-algorithm) into this one."""
+        for stats in other._phases:
+            name = f"{prefix}{stats.name}" if prefix else stats.name
+            self.charge(
+                PhaseStats(
+                    name=name,
+                    rounds=stats.rounds,
+                    messages=stats.messages,
+                    ticks=stats.ticks,
+                )
+            )
+
+    def phases(self) -> Tuple[PhaseStats, ...]:
+        """The phase log, in execution order."""
+        return tuple(self._phases)
+
+    def by_name(self) -> Dict[str, PhaseStats]:
+        """Aggregate phase costs by phase name."""
+        out: Dict[str, PhaseStats] = {}
+        for stats in self._phases:
+            if stats.name in out:
+                out[stats.name] = out[stats.name] + stats
+            else:
+                out[stats.name] = stats
+        return out
+
+    def summary(self) -> str:
+        """Human-readable multi-line cost breakdown."""
+        lines = [f"total: rounds={self.rounds} messages={self.messages}"]
+        for name, stats in sorted(self.by_name().items()):
+            lines.append(
+                f"  {name}: rounds={stats.rounds} messages={stats.messages}"
+            )
+        return "\n".join(lines)
+
+    def __iter__(self) -> Iterator[PhaseStats]:
+        return iter(self._phases)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CostLedger(rounds={self.rounds}, messages={self.messages})"
+
+
+@dataclass
+class RunResult:
+    """Standard return envelope for a distributed algorithm run.
+
+    ``output`` is algorithm-specific (e.g. per-node aggregates for PA, the
+    MST edge set for MST); ``ledger`` carries the metered cost.
+    """
+
+    output: object
+    ledger: CostLedger
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def rounds(self) -> int:
+        return self.ledger.rounds
+
+    @property
+    def messages(self) -> int:
+        return self.ledger.messages
+
+
+def merge_max_rounds(parallel: List[CostLedger], name: str) -> PhaseStats:
+    """Combine ledgers of phases that ran concurrently on disjoint regions.
+
+    Rounds compose as the maximum, messages as the sum.  Only used by
+    baselines that are *defined* per part (our algorithms run all parts in
+    one engine phase instead).
+    """
+    rounds = max((led.rounds for led in parallel), default=0)
+    messages = sum(led.messages for led in parallel)
+    return PhaseStats(name=name, rounds=rounds, messages=messages)

@@ -1,0 +1,224 @@
+"""Static network topology for the CONGEST simulator.
+
+A :class:`Network` is an immutable undirected graph with nodes ``0..n-1``.
+Per the KT0 model of Awerbuch et al., every node additionally has an
+arbitrary unique O(log n)-bit identifier (``uid``) which is initially known
+only to itself; node programs must treat array indices as *ports* (a node
+may talk to a neighbor without knowing the neighbor's uid until told).
+
+Edge weights, when present, are positive integers in [1, poly(n)] as the
+paper requires for MST / min-cut / SSSP instances.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .message import message_bit_limit
+
+Edge = Tuple[int, int]
+
+
+def canonical_edge(u: int, v: int) -> Edge:
+    """Return the canonical (min, max) form of an undirected edge."""
+    return (u, v) if u <= v else (v, u)
+
+
+class Network:
+    """An undirected communication graph with metered CONGEST semantics.
+
+    Parameters
+    ----------
+    edges:
+        Iterable of (u, v) pairs over nodes ``0..n-1``.  Self-loops and
+        duplicate edges are rejected: the CONGEST model is defined on simple
+        graphs.
+    n:
+        Number of nodes.  If omitted, inferred as ``max node + 1``.
+    weights:
+        Optional mapping from canonical edge to a positive integer weight.
+    rng / uid_seed:
+        Source of randomness for assigning the arbitrary unique node ids.
+        By default uids are a seeded random permutation of
+        ``[n, 2n)`` — distinct from indices, so code that confuses
+        uids with indices fails loudly in tests.
+    """
+
+    def __init__(
+        self,
+        edges: Iterable[Edge],
+        n: Optional[int] = None,
+        weights: Optional[Dict[Edge, int]] = None,
+        uid_seed: int = 0x5EED,
+    ) -> None:
+        edge_list: List[Edge] = []
+        seen = set()
+        max_node = -1
+        for u, v in edges:
+            if u == v:
+                raise ValueError(f"self-loop at node {u} is not allowed")
+            e = canonical_edge(u, v)
+            if e in seen:
+                raise ValueError(f"duplicate edge {e}")
+            seen.add(e)
+            edge_list.append(e)
+            if e[1] > max_node:
+                max_node = e[1]
+        if n is None:
+            n = max_node + 1
+        if n <= 0:
+            raise ValueError("network must have at least one node")
+        if max_node >= n:
+            raise ValueError(f"edge endpoint {max_node} >= n = {n}")
+
+        self.n: int = n
+        self.edges: Tuple[Edge, ...] = tuple(sorted(edge_list))
+        self.m: int = len(self.edges)
+        self._edge_set = frozenset(self.edges)
+
+        neighbors: List[List[int]] = [[] for _ in range(n)]
+        for u, v in self.edges:
+            neighbors[u].append(v)
+            neighbors[v].append(u)
+        self.neighbors: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(sorted(adj)) for adj in neighbors
+        )
+
+        if weights is not None:
+            normalized: Dict[Edge, int] = {}
+            for (u, v), w in weights.items():
+                e = canonical_edge(u, v)
+                if e not in self._edge_set:
+                    raise ValueError(f"weight given for non-edge {e}")
+                if not isinstance(w, int) or w < 1:
+                    raise ValueError(
+                        f"edge weight must be a positive integer, got {w!r}"
+                    )
+                normalized[e] = w
+            missing = self._edge_set - normalized.keys()
+            if missing:
+                raise ValueError(f"missing weights for edges: {sorted(missing)[:5]}")
+            self.weights: Optional[Dict[Edge, int]] = normalized
+        else:
+            self.weights = None
+
+        rng = random.Random(uid_seed)
+        uids = list(range(n, 2 * n))
+        rng.shuffle(uids)
+        self.uid: Tuple[int, ...] = tuple(uids)
+        self._uid_to_node: Dict[int, int] = {u: i for i, u in enumerate(uids)}
+
+        self.message_bits: int = message_bit_limit(n)
+
+    # ------------------------------------------------------------------
+    # Topology queries
+    # ------------------------------------------------------------------
+    def has_edge(self, u: int, v: int) -> bool:
+        """True iff (u, v) is an edge of the network."""
+        return canonical_edge(u, v) in self._edge_set
+
+    def degree(self, v: int) -> int:
+        """Degree of node ``v``."""
+        return len(self.neighbors[v])
+
+    def weight(self, u: int, v: int) -> int:
+        """Weight of edge (u, v); 1 if the network is unweighted."""
+        if self.weights is None:
+            return 1
+        return self.weights[canonical_edge(u, v)]
+
+    def node_of_uid(self, uid: int) -> int:
+        """Inverse of ``self.uid`` (orchestrator convenience, not node-local)."""
+        return self._uid_to_node[uid]
+
+    def total_weight(self) -> int:
+        """Sum of all edge weights."""
+        if self.weights is None:
+            return self.m
+        return sum(self.weights.values())
+
+    # ------------------------------------------------------------------
+    # Global structure (orchestrator-side helpers; used for validation,
+    # test oracles, and workload setup -- never inside node programs)
+    # ------------------------------------------------------------------
+    def is_connected(self) -> bool:
+        """True iff the network is connected (BFS from node 0)."""
+        if self.n == 1:
+            return True
+        seen = bytearray(self.n)
+        seen[0] = 1
+        stack = [0]
+        count = 1
+        while stack:
+            u = stack.pop()
+            for v in self.neighbors[u]:
+                if not seen[v]:
+                    seen[v] = 1
+                    count += 1
+                    stack.append(v)
+        return count == self.n
+
+    def bfs_depths(self, root: int) -> List[int]:
+        """Hop distances from ``root`` (-1 for unreachable nodes)."""
+        depth = [-1] * self.n
+        depth[root] = 0
+        frontier = [root]
+        while frontier:
+            nxt = []
+            for u in frontier:
+                du = depth[u]
+                for v in self.neighbors[u]:
+                    if depth[v] < 0:
+                        depth[v] = du + 1
+                        nxt.append(v)
+            frontier = nxt
+        return depth
+
+    def eccentricity(self, root: int) -> int:
+        """Maximum hop distance from ``root`` to any reachable node."""
+        return max(self.bfs_depths(root))
+
+    def diameter_estimate(self) -> int:
+        """A 2-approximation of the hop diameter via double-BFS.
+
+        This is the same estimate distributed algorithms themselves can
+        compute in O(D) rounds, so using it for thresholds (e.g. the
+        ``|P_i| < D`` test of Algorithm 1) is model-faithful.
+        """
+        ecc0 = self.eccentricity(0)
+        depths = self.bfs_depths(0)
+        far = max(range(self.n), key=lambda v: depths[v])
+        return max(ecc0, self.eccentricity(far), 1)
+
+    def exact_diameter(self) -> int:
+        """Exact hop diameter (O(nm); test/benchmark oracle only)."""
+        best = 0
+        for v in range(self.n):
+            ecc = self.eccentricity(v)
+            if ecc > best:
+                best = ecc
+        return max(best, 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "weighted" if self.weights is not None else "unweighted"
+        return f"Network(n={self.n}, m={self.m}, {kind})"
+
+
+def network_from_networkx(graph, uid_seed: int = 0x5EED) -> Network:
+    """Build a :class:`Network` from a networkx graph.
+
+    Node labels must be ``0..n-1``.  If every edge carries an integer
+    ``weight`` attribute it becomes the network's weight function.
+    """
+    n = graph.number_of_nodes()
+    if set(graph.nodes()) != set(range(n)):
+        raise ValueError("networkx graph must be labeled 0..n-1")
+    edges = [canonical_edge(u, v) for u, v in graph.edges()]
+    weights = None
+    if all("weight" in data for _, _, data in graph.edges(data=True)) and n > 0 and graph.number_of_edges() > 0:
+        weights = {
+            canonical_edge(u, v): int(data["weight"])
+            for u, v, data in graph.edges(data=True)
+        }
+    return Network(edges, n=n, weights=weights, uid_seed=uid_seed)

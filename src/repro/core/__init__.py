@@ -1,0 +1,112 @@
+"""The paper's primary contribution: Part-Wise Aggregation machinery.
+
+Layering (bottom to top): trees/treeops (forest primitives), spanning_tree
+(BFS + leader election), shortcuts (Definitions 2.1-2.3), subparts /
+subparts_det (Definition 4.1 constructions), blocks (annotation),
+corefast / det_shortcut (constructions), wave (Algorithm 1), pa
+(Theorem 1.2 facade), no_leader (Algorithm 9).
+"""
+
+from .aggregation import (
+    AND,
+    Aggregation,
+    MAX,
+    MAX_TUPLE,
+    MIN,
+    MIN_TUPLE,
+    OR,
+    SUM,
+    XOR,
+    validate_aggregation,
+)
+from .blocks import BlockAnnotations, annotate_blocks
+from .corefast import (
+    ClaimProgram,
+    ShortcutBuildResult,
+    build_shortcut_randomized,
+    verify_block_parameters,
+)
+from .pa import (
+    DETERMINISTIC,
+    PAResult,
+    PASetup,
+    PASolver,
+    RANDOMIZED,
+    solve_pa,
+)
+from .shortcuts import (
+    Shortcut,
+    empty_shortcut,
+    full_tree_shortcut,
+    shortcut_hint_for_family,
+    star_shortcut_for_parts,
+    validate_shortcut,
+)
+from .spanning_tree import (
+    SpanningTreeResult,
+    bfs_tree,
+    diameter_upper_bound,
+    elect_leader_and_bfs_tree,
+)
+from .subparts import (
+    SubPartDivision,
+    build_subpart_division_randomized,
+    division_from_groups,
+)
+from .treeops import broadcast, claim_bfs, convergecast
+from .trees import (
+    ABSENT,
+    ROOT,
+    RootedForest,
+    forest_from_parent_map,
+    spanning_forest_of_subsets,
+)
+from .wave import PAWaveResult, run_pa_waves
+
+__all__ = [
+    "ABSENT",
+    "AND",
+    "Aggregation",
+    "BlockAnnotations",
+    "ClaimProgram",
+    "DETERMINISTIC",
+    "MAX",
+    "MAX_TUPLE",
+    "MIN",
+    "MIN_TUPLE",
+    "OR",
+    "PAResult",
+    "PASetup",
+    "PASolver",
+    "PAWaveResult",
+    "RANDOMIZED",
+    "ROOT",
+    "RootedForest",
+    "SUM",
+    "Shortcut",
+    "ShortcutBuildResult",
+    "SpanningTreeResult",
+    "SubPartDivision",
+    "XOR",
+    "annotate_blocks",
+    "bfs_tree",
+    "broadcast",
+    "build_shortcut_randomized",
+    "build_subpart_division_randomized",
+    "claim_bfs",
+    "convergecast",
+    "diameter_upper_bound",
+    "division_from_groups",
+    "elect_leader_and_bfs_tree",
+    "empty_shortcut",
+    "forest_from_parent_map",
+    "full_tree_shortcut",
+    "run_pa_waves",
+    "shortcut_hint_for_family",
+    "solve_pa",
+    "spanning_forest_of_subsets",
+    "star_shortcut_for_parts",
+    "validate_aggregation",
+    "validate_shortcut",
+    "verify_block_parameters",
+]

@@ -1,0 +1,245 @@
+"""Randomized message-efficient shortcut construction (Section 5.2).
+
+The construction follows Algorithm 4: repeat CoreFast-style *claiming* on
+the parts that do not yet have a good shortcut, verify block parameters
+with the PA machinery itself (Algorithm 2 / Lemma 4.5), and freeze the
+parts whose block parameter is small enough.
+
+CoreFast claiming, as the paper describes it: a sampled set of vertices
+(for us: exactly the sub-part representatives, which is the paper's
+message-optimality device) send their part id up the BFS tree ``T``,
+*claiming* every edge they cross; an edge admits at most ``theta = 2c``
+distinct part ids per run and rejects the rest, truncating those parts'
+climbs.  A part's shortcut ``H_i`` is the set of edges its claims crossed —
+a union of upward path prefixes, which is what makes every block
+identifiable and countable locally (see :mod:`repro.core.blocks`).
+
+Compared to [19]'s original CoreFast we admit the first ``theta`` parts per
+edge (in randomized priority order) instead of deleting over-subscribed
+edges outright; both cap per-run congestion at ``theta``, ours additionally
+preserves the "H_i is a union of climb prefixes" invariant the counting
+relies on.  DESIGN.md, substitution 4.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..congest.engine import Context, Engine, Inbox
+from ..congest.ledger import CostLedger
+from ..congest.network import Network
+from ..graphs.partitions import Partition
+from .blocks import BlockAnnotations, annotate_blocks
+from .queued import QueuedProgram
+from .shortcuts import Shortcut
+from .subparts import SubPartDivision
+from .trees import ROOT, RootedForest
+
+
+class ClaimProgram(QueuedProgram):
+    """One CoreFast run: representatives claim tree edges upward."""
+
+    name = "corefast_claim"
+
+    def __init__(
+        self,
+        tree: RootedForest,
+        claimants: Sequence[Tuple[int, int]],
+        theta: int,
+        priority_of: Dict[int, int],
+    ) -> None:
+        """``claimants``: (node, part) pairs; ``theta``: per-edge cap."""
+        super().__init__(capacity=1)
+        self.tree = tree
+        self.claimants = claimants
+        self.theta = theta
+        self.priority_of = priority_of
+        n = tree.net.n
+        #: parts admitted onto each node's parent edge this run
+        self.claimed_up: List[Set[int]] = [set() for _ in range(n)]
+        self._handled: Set[Tuple[int, int]] = set()
+
+    def _try_claim(self, ctx: Context, node: int, pid: int) -> None:
+        key = (node, pid)
+        if key in self._handled:
+            return
+        self._handled.add(key)
+        if self.tree.parent[node] < 0:
+            return  # reached the root of T
+        if len(self.claimed_up[node]) >= self.theta:
+            return  # saturated: the claim is truncated here
+        self.claimed_up[node].add(pid)
+        self.enqueue(
+            ctx,
+            node,
+            self.tree.parent[node],
+            (self.priority_of.get(pid, pid),),
+            ("c", pid),
+        )
+
+    def on_start(self, ctx: Context) -> None:
+        for node, pid in self.claimants:
+            self._try_claim(ctx, node, pid)
+
+    def handle(self, ctx: Context, node: int, inbox: Inbox) -> None:
+        for _sender, payload in inbox:
+            _tag, pid = payload
+            self._try_claim(ctx, node, pid)
+
+
+@dataclass
+class ShortcutBuildResult:
+    """A constructed shortcut plus its annotations and quality."""
+
+    shortcut: Shortcut
+    annotations: BlockAnnotations
+    block_counts: List[int]
+    iterations: int
+
+    def quality(self) -> Tuple[int, int]:
+        return self.shortcut.quality()
+
+
+def _merge_up_parts(
+    n: int, frozen: List[Set[int]], fresh: List[Set[int]], keep: Set[int]
+) -> List[Set[int]]:
+    """Frozen edges plus the fresh claims of the parts in ``keep``."""
+    merged = [set(parts) for parts in frozen]
+    for v in range(n):
+        for pid in fresh[v]:
+            if pid in keep:
+                merged[v].add(pid)
+    return merged
+
+
+def verify_block_parameters(
+    engine: Engine,
+    net: Network,
+    partition: Partition,
+    division: SubPartDivision,
+    shortcut: Shortcut,
+    annotations: BlockAnnotations,
+    ledger: CostLedger,
+    randomized: bool,
+    rng: Optional[random.Random],
+    phase_prefix: str = "verify",
+) -> List[int]:
+    """Algorithm 2: every part learns its block parameter, via PA itself.
+
+    Each nontrivial block delivered exactly one counting token to a part
+    member during annotation; summing the tokens part-wise with the PA
+    waves gives every leader (and then every node) its part's block count.
+    Costs the full PA price, as Lemma 4.5 charges.
+    """
+    from ..core.aggregation import SUM
+    from .wave import run_pa_waves
+
+    values: List[Optional[int]] = [None] * net.n
+    for node, pids in annotations.count_tokens.items():
+        mine = sum(1 for pid in pids if partition.part_of[node] == pid)
+        if mine:
+            values[node] = mine
+    outcome = run_pa_waves(
+        engine, net, partition, division, shortcut, annotations,
+        values, SUM, ledger, randomized=randomized, rng=rng,
+        phase_prefix=phase_prefix,
+    )
+    counts = [0] * partition.num_parts
+    for pid, total in outcome.aggregates.items():
+        counts[pid] = total or 0
+    return counts
+
+
+def build_shortcut_randomized(
+    engine: Engine,
+    net: Network,
+    partition: Partition,
+    division: SubPartDivision,
+    tree: RootedForest,
+    diameter: int,
+    ledger: CostLedger,
+    rng: random.Random,
+    congestion_budget: Optional[int] = None,
+    block_target: Optional[int] = None,
+    max_iterations: Optional[int] = None,
+    grow_budget: bool = True,
+) -> ShortcutBuildResult:
+    """Algorithm 4 with the doubling trick of Section 1.3.
+
+    Parts of at most ``diameter`` nodes never claim (their waves stay
+    intra-part).  Remaining parts claim via their representatives under a
+    per-edge budget ``theta = 2 * congestion_budget``; parts whose verified
+    block parameter is at most ``block_target`` freeze their claims, the
+    others retry with fresh random priorities and (if ``grow_budget``) a
+    doubled budget.
+    """
+    n = net.n
+    log_n = max(1, math.ceil(math.log2(max(2, n))))
+    if block_target is None:
+        block_target = max(3, 3 * log_n)
+    if max_iterations is None:
+        max_iterations = log_n + 3
+    budget = congestion_budget if congestion_budget is not None else 2
+
+    part_sizes = [partition.size_of(pid) for pid in range(partition.num_parts)]
+    active: Set[int] = {
+        pid for pid in range(partition.num_parts) if part_sizes[pid] > diameter
+    }
+    frozen_up: List[Set[int]] = [set() for _ in range(n)]
+
+    reps_by_part: Dict[int, List[int]] = {}
+    for rep in division.forest.roots:
+        pid = partition.part_of[rep]
+        reps_by_part.setdefault(pid, []).append(rep)
+
+    iterations = 0
+    while active and iterations < max_iterations:
+        iterations += 1
+        claimants = [
+            (rep, pid)
+            for pid in sorted(active)
+            for rep in reps_by_part.get(pid, ())
+        ]
+        priorities = {pid: rng.randrange(1 << 30) for pid in active}
+        theta = max(2, 2 * budget)
+        claim = ClaimProgram(tree, claimants, theta, priorities)
+        claim.name = f"corefast_claim_{iterations}"
+        stats = engine.run(
+            claim, max_ticks=32 + 4 * (tree.height() + theta)
+        )
+        ledger.charge(stats)
+
+        candidate_up = _merge_up_parts(n, frozen_up, claim.claimed_up, active)
+        candidate = Shortcut(tree, partition, candidate_up)
+        annotations = annotate_blocks(engine, candidate, ledger)
+        counts = verify_block_parameters(
+            engine, net, partition, division, candidate, annotations,
+            ledger, randomized=True, rng=rng,
+            phase_prefix=f"verify_{iterations}",
+        )
+
+        newly_frozen = {
+            pid for pid in active if counts[pid] <= block_target
+        }
+        if iterations == max_iterations:
+            newly_frozen = set(active)
+        for v in range(n):
+            for pid in claim.claimed_up[v]:
+                if pid in newly_frozen:
+                    frozen_up[v].add(pid)
+        active -= newly_frozen
+        if grow_budget:
+            budget *= 2
+
+    final = Shortcut(tree, partition, frozen_up)
+    annotations = annotate_blocks(engine, final, ledger)
+    counts = annotations.block_counts(partition.num_parts)
+    return ShortcutBuildResult(
+        shortcut=final,
+        annotations=annotations,
+        block_counts=counts,
+        iterations=iterations,
+    )

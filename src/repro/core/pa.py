@@ -1,0 +1,249 @@
+"""Part-Wise Aggregation, end to end (Theorem 1.2).
+
+:class:`PASolver` assembles the full pipeline:
+
+1. a BFS spanning tree ``T`` with an elected leader (or a given root) —
+   built once per network, reused across partitions;
+2. a sub-part division of the input partition — randomized (Algorithm 3)
+   or deterministic (Algorithm 6);
+3. a ``T``-restricted shortcut — randomized (CoreFast / Algorithm 4) or
+   deterministic (heavy-path doubling / Algorithms 7-8) — with block
+   annotations and verified block parameters;
+4. the PA waves of Algorithm 1 (broadcast, reversal, replay).
+
+Every step is executed on the CONGEST engine and charged to the result's
+ledger.  Part leaders are the standing assumption of Section 4 (every
+member knows its part's leader); by default the minimum-uid member is
+used, and :mod:`repro.core.no_leader` (Algorithm 9) discharges the
+assumption distributively when needed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..congest.engine import Engine
+from ..congest.ledger import CostLedger, RunResult
+from ..congest.network import Network
+from ..graphs.partitions import Partition, validate_partition
+from .aggregation import Aggregation
+from .blocks import BlockAnnotations, annotate_blocks
+from .corefast import ShortcutBuildResult, build_shortcut_randomized
+from .shortcuts import Shortcut
+from .spanning_tree import SpanningTreeResult, bfs_tree, elect_leader_and_bfs_tree
+from .subparts import SubPartDivision, build_subpart_division_randomized
+from .trees import RootedForest
+from .wave import PAWaveResult, run_pa_waves
+
+RANDOMIZED = "randomized"
+DETERMINISTIC = "deterministic"
+
+
+@dataclass
+class PASetup:
+    """Partition-specific machinery, reusable across many aggregations."""
+
+    partition: Partition
+    leaders: Tuple[int, ...]
+    division: SubPartDivision
+    shortcut: Shortcut
+    annotations: BlockAnnotations
+    setup_ledger: CostLedger
+
+    def quality(self) -> Tuple[int, int]:
+        """(block parameter, congestion) of the constructed shortcut."""
+        return self.shortcut.quality()
+
+
+@dataclass
+class PAResult:
+    """Outcome of one Part-Wise Aggregation solve."""
+
+    aggregates: Dict[int, object]
+    value_at_node: List[object]
+    ledger: CostLedger
+    setup: PASetup
+
+    @property
+    def rounds(self) -> int:
+        return self.ledger.rounds
+
+    @property
+    def messages(self) -> int:
+        return self.ledger.messages
+
+
+class PASolver:
+    """Round- and message-optimal Part-Wise Aggregation (Theorem 1.2).
+
+    Parameters
+    ----------
+    net:
+        The communication graph (must be connected).
+    mode:
+        ``"randomized"`` for the O~(bD + c)-round variant,
+        ``"deterministic"`` for the O~(b(D + c)) variant.
+    seed:
+        Seed for all randomness (node sampling, claim priorities, delays).
+    root:
+        Optional known root for the BFS tree; if omitted a leader is
+        elected distributively (flood-min).
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        mode: str = RANDOMIZED,
+        seed: int = 0,
+        root: Optional[int] = None,
+        strict_bits: bool = True,
+    ) -> None:
+        if mode not in (RANDOMIZED, DETERMINISTIC):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.net = net
+        self.mode = mode
+        self.rng = random.Random(seed)
+        self.engine = Engine(net, strict_bits=strict_bits)
+
+        self.tree_ledger = CostLedger()
+        if root is None:
+            self.tree_result = elect_leader_and_bfs_tree(
+                self.engine, net, self.tree_ledger
+            )
+        else:
+            self.tree_result = bfs_tree(self.engine, net, root, self.tree_ledger)
+        self.tree: RootedForest = self.tree_result.tree
+        #: The globally-known diameter estimate (2-approximation via BFS).
+        self.diameter: int = max(1, 2 * self.tree_result.depth)
+
+    # ------------------------------------------------------------------
+    def default_leaders(self, partition: Partition) -> Tuple[int, ...]:
+        """Minimum-uid member of each part (the Section 4 assumption)."""
+        return tuple(
+            min(members, key=lambda v: self.net.uid[v])
+            for members in partition.members
+        )
+
+    def prepare(
+        self,
+        partition: Partition,
+        leaders: Optional[Sequence[int]] = None,
+        congestion_budget: Optional[int] = None,
+        block_target: Optional[int] = None,
+        validate: bool = True,
+    ) -> PASetup:
+        """Build division + shortcut + annotations for a partition.
+
+        The returned :class:`PASetup` can be reused for any number of
+        aggregations over the same partition; its construction cost is in
+        ``setup.setup_ledger`` and is also folded into each solve's ledger
+        exactly once by :meth:`solve` (pass ``charge_setup=False`` there to
+        opt out when amortizing).
+        """
+        if validate:
+            validate_partition(self.net, partition)
+        if leaders is None:
+            leaders = self.default_leaders(partition)
+        leaders = tuple(leaders)
+        for pid, leader in enumerate(leaders):
+            if partition.part_of[leader] != pid:
+                raise ValueError(f"leader {leader} is not in part {pid}")
+
+        ledger = CostLedger()
+        if self.mode == RANDOMIZED:
+            division = build_subpart_division_randomized(
+                self.engine, self.net, partition, leaders, self.diameter,
+                ledger, self.rng,
+            )
+            build = build_shortcut_randomized(
+                self.engine, self.net, partition, division, self.tree,
+                self.diameter, ledger, self.rng,
+                congestion_budget=congestion_budget,
+                block_target=block_target,
+            )
+        else:
+            from .subparts_det import build_subpart_division_deterministic
+            from .det_shortcut import build_shortcut_deterministic
+
+            division = build_subpart_division_deterministic(
+                self.engine, self.net, partition, leaders, self.diameter,
+                ledger,
+            )
+            build = build_shortcut_deterministic(
+                self.engine, self.net, partition, division, self.tree,
+                self.diameter, ledger,
+                congestion_budget=congestion_budget,
+                block_target=block_target,
+            )
+
+        return PASetup(
+            partition=partition,
+            leaders=leaders,
+            division=division,
+            shortcut=build.shortcut,
+            annotations=build.annotations,
+            setup_ledger=ledger,
+        )
+
+    def solve(
+        self,
+        setup: PASetup,
+        values: Sequence[object],
+        agg: Aggregation,
+        charge_setup: bool = True,
+        phase_prefix: str = "pa",
+    ) -> PAResult:
+        """Aggregate ``values`` part-wise with ``agg`` (Algorithm 1)."""
+        ledger = CostLedger()
+        if charge_setup:
+            ledger.merge(setup.setup_ledger, prefix="setup:")
+        outcome = run_pa_waves(
+            self.engine,
+            self.net,
+            setup.partition,
+            setup.division,
+            setup.shortcut,
+            setup.annotations,
+            values,
+            agg,
+            ledger,
+            randomized=(self.mode == RANDOMIZED),
+            rng=self.rng,
+            phase_prefix=phase_prefix,
+        )
+        return PAResult(
+            aggregates=outcome.aggregates,
+            value_at_node=outcome.value_at_node,
+            ledger=ledger,
+            setup=setup,
+        )
+
+
+def solve_pa(
+    net: Network,
+    partition: Partition,
+    values: Sequence[object],
+    agg: Aggregation,
+    mode: str = RANDOMIZED,
+    seed: int = 0,
+    leaders: Optional[Sequence[int]] = None,
+    include_tree_cost: bool = True,
+    solver: Optional[PASolver] = None,
+) -> PAResult:
+    """One-call Part-Wise Aggregation (builds the whole pipeline).
+
+    This is the public entry point matching Theorem 1.2: given a connected
+    network, a connected partition, per-node values and an
+    associative-commutative ``agg``, every node of every part learns
+    ``f(P_i)``; the result's ledger meters every round and message of tree
+    construction, sub-part division, shortcut construction, verification
+    and the PA waves.
+    """
+    solver = solver or PASolver(net, mode=mode, seed=seed)
+    setup = solver.prepare(partition, leaders=leaders)
+    result = solver.solve(setup, values, agg)
+    if include_tree_cost:
+        result.ledger.merge(solver.tree_ledger, prefix="tree:")
+    return result

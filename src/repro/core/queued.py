@@ -1,0 +1,86 @@
+"""Per-edge message queues with priority scheduling (Lemma 4.2 discipline).
+
+Several phases route many parts' packets over shared spanning-tree edges.
+CONGEST permits one message per directed edge per round, so contending
+packets must queue.  Lemma 4.2's BlockRoute resolves contention by
+forwarding the packet whose block root is shallowest, breaking ties by
+block id; the randomized variant instead allows a capacity of
+``Theta(log n)`` per meta-round (Section 4.2).
+
+:class:`QueuedProgram` factors this discipline out: subclasses call
+:meth:`enqueue` instead of ``ctx.send``; the base class flushes up to
+``capacity`` packets per directed edge per tick in priority order, waking
+itself while queues are nonempty, and reports every dequeue to
+:meth:`on_dequeue` so subclasses can record which edges physically carried
+which packets (the wave reversal depends on this record).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..congest.engine import Context, Inbox, Program
+
+Priority = Tuple  # lexicographically ordered
+
+
+class QueuedProgram(Program):
+    """Engine program with per-directed-edge priority queues."""
+
+    def __init__(self, capacity: int = 1) -> None:
+        self.capacity = capacity
+        self._queues: Dict[Tuple[int, int], List[Tuple[Priority, int, object]]] = {}
+        self._pending_by_node: Dict[int, Set[int]] = {}
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Subclass API
+    # ------------------------------------------------------------------
+    def enqueue(
+        self, ctx: Context, src: int, dst: int, priority: Priority, payload: object
+    ) -> None:
+        """Queue ``payload`` for directed edge (src, dst)."""
+        queue = self._queues.get((src, dst))
+        if queue is None:
+            queue = []
+            self._queues[(src, dst)] = queue
+        self._seq += 1
+        heapq.heappush(queue, (priority, self._seq, payload))
+        self._pending_by_node.setdefault(src, set()).add(dst)
+        ctx.wake(src)
+
+    def on_dequeue(self, src: int, dst: int, payload: object) -> None:
+        """Hook: called when a queued packet is physically sent."""
+
+    def handle(self, ctx: Context, node: int, inbox: Inbox) -> None:
+        """Subclass message handler (replaces ``on_node``)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Engine plumbing
+    # ------------------------------------------------------------------
+    def on_node(self, ctx: Context, node: int, inbox: Inbox) -> None:
+        if inbox:
+            self.handle(ctx, node, inbox)
+        self._flush(ctx, node)
+
+    def _flush(self, ctx: Context, node: int) -> None:
+        dsts = self._pending_by_node.get(node)
+        if not dsts:
+            return
+        exhausted = []
+        for dst in dsts:
+            queue = self._queues[(node, dst)]
+            sent = 0
+            while queue and sent < self.capacity:
+                _priority, _seq, payload = heapq.heappop(queue)
+                ctx.send(node, dst, payload)
+                self.on_dequeue(node, dst, payload)
+                sent += 1
+            if not queue:
+                exhausted.append(dst)
+        for dst in exhausted:
+            dsts.discard(dst)
+        if dsts:
+            ctx.wake(node)

@@ -1,0 +1,249 @@
+"""Tree-restricted low-congestion shortcuts (Definitions 2.1-2.3).
+
+A shortcut assigns to each part ``P_i`` a set of spanning-tree edges
+``H_i ⊆ E[T]`` that the part may use for routing.  We represent the
+assignment node-locally, as the distributed constructions produce it:
+
+* ``up_parts[v]`` — the set of part ids whose ``H_i`` contains the tree
+  edge (v, parent(v)).  Node ``v`` knows this for its own parent edge, and
+  (because claims physically crossed the edge) the parent knows it for each
+  child edge.  This is exactly the knowledge the PA wave needs to route
+  block messages up and down.
+
+Quality measures:
+
+* **congestion** ``c`` — max over tree edges of how many parts use it
+  (Definition 2.1, condition 1);
+* **block parameter** ``b`` — max over parts of the number of *nontrivial*
+  blocks: connected components of ``(P_i ∪ V(H_i), H_i)`` containing at
+  least one edge (Definition 2.3).  Components that are isolated vertices
+  are not counted: counting them would make ``b = Θ(|P_i|)`` for every
+  shortcut and trivialize the measure, whereas the paper's own Figure 1
+  example has ``b = 2`` for multi-node parts, and the role of ``b`` in the
+  analysis (Lemma 4.4: "b iterations suffice", one new block activated per
+  wave) concerns edge-bearing blocks only.
+
+Block annotations (root id and root depth per (node, part)) are what the
+BlockRoute scheduling of Lemma 4.2 prioritizes on; they are established by
+a distributed annotation phase in :mod:`repro.core.blocks`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..congest.errors import ShortcutValidationError
+from ..congest.network import Network
+from ..graphs.partitions import Partition
+from .trees import ROOT, RootedForest
+
+
+class Shortcut:
+    """A ``T``-restricted shortcut: per-node sets of parts using the parent edge.
+
+    ``up_parts[v]`` may be any iterable of part ids; the root's entry must
+    be empty (the root has no parent edge).
+    """
+
+    def __init__(
+        self,
+        tree: RootedForest,
+        partition: Partition,
+        up_parts: Sequence[Iterable[int]],
+    ) -> None:
+        if len(tree.roots) != 1:
+            raise ShortcutValidationError(
+                "tree-restricted shortcuts require a single spanning tree"
+            )
+        if len(up_parts) != tree.net.n:
+            raise ShortcutValidationError("up_parts must cover all nodes")
+        self.tree = tree
+        self.partition = partition
+        self.up_parts: Tuple[FrozenSet[int], ...] = tuple(
+            frozenset(parts) for parts in up_parts
+        )
+        root = tree.roots[0]
+        if self.up_parts[root]:
+            raise ShortcutValidationError("the tree root has no parent edge")
+        for v, parts in enumerate(self.up_parts):
+            if parts and tree.parent[v] < 0:
+                raise ShortcutValidationError(
+                    f"node {v} has shortcut parts but no parent edge"
+                )
+            for pid in parts:
+                if not 0 <= pid < partition.num_parts:
+                    raise ShortcutValidationError(f"unknown part id {pid}")
+
+    # ------------------------------------------------------------------
+    # Quality measures (orchestrator-side; the distributed counterparts
+    # are the verification phases in repro.core.verify)
+    # ------------------------------------------------------------------
+    def congestion(self) -> int:
+        """Max number of parts sharing one tree edge (>= 1 by convention)."""
+        return max((len(parts) for parts in self.up_parts), default=0) or 1
+
+    def edges_of_part(self, pid: int) -> List[Tuple[int, int]]:
+        """The (child, parent) tree edges of ``H_pid``."""
+        return [
+            (v, self.tree.parent[v])
+            for v, parts in enumerate(self.up_parts)
+            if pid in parts
+        ]
+
+    def total_shortcut_edges(self) -> int:
+        """Sum over parts of |H_i| (each edge counted with multiplicity)."""
+        return sum(len(parts) for parts in self.up_parts)
+
+    def blocks_of_part(self, pid: int) -> List[Set[int]]:
+        """Nontrivial blocks of part ``pid``: edge-bearing H_i components."""
+        edges = self.edges_of_part(pid)
+        if not edges:
+            return []
+        parent: Dict[int, int] = {}
+
+        def find(x: int) -> int:
+            root = x
+            while parent.get(root, root) != root:
+                root = parent[root]
+            while parent.get(x, x) != x:
+                parent[x], x = root, parent[x]
+            return root
+
+        def union(a: int, b: int) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[ra] = rb
+
+        for u, v in edges:
+            parent.setdefault(u, u)
+            parent.setdefault(v, v)
+            union(u, v)
+        groups: Dict[int, Set[int]] = defaultdict(set)
+        for node in parent:
+            groups[find(node)].add(node)
+        return list(groups.values())
+
+    def block_parameter(self, pid: int) -> int:
+        """Number of nontrivial blocks of part ``pid`` (>= 1 by convention).
+
+        A part with no shortcut edges behaves like a single block in the
+        wave analysis (its nodes communicate through part edges only).
+        """
+        return max(1, len(self.blocks_of_part(pid)))
+
+    def block_parameters(self) -> List[int]:
+        """Block parameter of every part."""
+        return [self.block_parameter(pid) for pid in range(self.partition.num_parts)]
+
+    def max_block_parameter(self) -> int:
+        """The shortcut's block parameter ``b`` (max over parts)."""
+        return max(self.block_parameters())
+
+    def quality(self) -> Tuple[int, int]:
+        """(block parameter b, congestion c) of this shortcut."""
+        return self.max_block_parameter(), self.congestion()
+
+    # ------------------------------------------------------------------
+    def down_parts(self) -> List[Dict[int, FrozenSet[int]]]:
+        """Per node: map child -> parts using the (child, node) edge.
+
+        This is the "which child edges belong to H_i" knowledge a node needs
+        to forward block messages downward; physically it was learned when
+        the claims crossed the edge during construction.
+        """
+        down: List[Dict[int, FrozenSet[int]]] = [dict() for _ in range(self.tree.net.n)]
+        for v, parts in enumerate(self.up_parts):
+            if parts:
+                down[self.tree.parent[v]][v] = parts
+        return down
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        b, c = self.quality()
+        return f"Shortcut(parts={self.partition.num_parts}, b={b}, c={c})"
+
+
+def empty_shortcut(tree: RootedForest, partition: Partition) -> Shortcut:
+    """The trivial shortcut H_i = {} for all parts.
+
+    PA remains correct with it (waves flood through part edges alone); it
+    is the degenerate baseline for ablations.
+    """
+    return Shortcut(tree, partition, [frozenset() for _ in range(tree.net.n)])
+
+
+def full_tree_shortcut(tree: RootedForest, partition: Partition) -> Shortcut:
+    """H_i = all of E[T] for every part: block parameter 1, congestion N.
+
+    The classic "just use the BFS tree for everyone" shortcut; round-poor
+    (congestion = number of parts) but structurally simple.  Used by tests
+    and by the naive baseline of Section 3.1.
+    """
+    n = tree.net.n
+    all_parts = frozenset(range(partition.num_parts))
+    up = [all_parts if tree.parent[v] >= 0 else frozenset() for v in range(n)]
+    return Shortcut(tree, partition, up)
+
+
+def star_shortcut_for_parts(
+    tree: RootedForest, partition: Partition, pids: Iterable[int]
+) -> Shortcut:
+    """H_i = union of root paths of all members, for the selected parts.
+
+    Gives each selected part a single block (rooted at the tree root) at
+    the price of high congestion; handy for constructing known-(b, c)
+    fixtures in tests.
+    """
+    n = tree.net.n
+    up: List[Set[int]] = [set() for _ in range(n)]
+    for pid in pids:
+        for v in partition.members[pid]:
+            node = v
+            while tree.parent[node] >= 0:
+                up[node].add(pid)
+                node = tree.parent[node]
+    return Shortcut(tree, partition, up)
+
+
+def validate_shortcut(shortcut: Shortcut) -> None:
+    """Check Definition 2.2 invariants; raise on violation.
+
+    Constructor checks already enforce H_i ⊆ E[T]; this validates the
+    derived structures used by routing: every nontrivial block is a
+    connected subtree of T, and block roots are unique per block.
+    """
+    tree = shortcut.tree
+    for pid in range(shortcut.partition.num_parts):
+        for block in shortcut.blocks_of_part(pid):
+            roots_in_block = [
+                v
+                for v in block
+                if tree.parent[v] < 0 or pid not in shortcut.up_parts[v]
+            ]
+            if len(roots_in_block) != 1:
+                raise ShortcutValidationError(
+                    f"part {pid} has a block with {len(roots_in_block)} roots"
+                )
+
+
+def shortcut_hint_for_family(family: str, n: int, diameter: int) -> Tuple[int, int]:
+    """Paper Table 1: the (b, c) a family is known to admit.
+
+    Used as construction targets by benchmarks; the construction verifies
+    and adapts via doubling regardless, so a wrong hint costs rounds, not
+    correctness.
+    """
+    import math
+
+    log_n = max(1, math.ceil(math.log2(max(2, n))))
+    sqrt_n = max(1, math.isqrt(n))
+    hints = {
+        "general": (1, sqrt_n),
+        "planar": (max(1, math.ceil(math.log2(max(2, diameter)))), diameter * log_n),
+        "genus": (2, 2 * diameter * log_n),
+        "treewidth": (4, 4 * log_n),
+        "pathwidth": (2, 2),
+    }
+    if family not in hints:
+        raise KeyError(f"unknown family {family!r}; known: {sorted(hints)}")
+    return hints[family]

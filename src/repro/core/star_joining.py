@@ -1,0 +1,299 @@
+"""Star joinings (Definition 6.1, Algorithm 5).
+
+A star joining designates a constant fraction of participating super-nodes
+as *receivers* and the rest (those whose chosen edge points at a receiver)
+as *joiners*, so that joiners can merge into receivers in a star pattern —
+bounding the diameter growth of merged structures.  Algorithm 5 computes
+one deterministically: super-nodes with in-degree >= 2 become receivers
+immediately; the residual functional graph (paths and cycles) is 3-colored
+with Cole-Vishkin, and the three color classes are resolved in turn.
+
+The algorithm is generic over *how* super-nodes communicate: in
+Algorithm 6 a super-node is a sub-part (communication via its O(D)-depth
+spanning tree), in Algorithm 9 a super-node is a coarsening part
+(communication via full PA).  :class:`SuperOps` is that interface; the
+tree-based implementation lives here, the PA-based one in
+:mod:`repro.core.no_leader`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..congest.engine import Context, Engine, Inbox, Program
+from ..congest.ledger import CostLedger
+from ..congest.network import Network
+from .aggregation import Aggregation, MIN, SUM
+from .cole_vishkin import cv_iterations_needed, cv_step, shift_down_step
+from .treeops import broadcast as tree_broadcast
+from .treeops import convergecast as tree_convergecast
+from .trees import RootedForest
+
+#: A chosen super-edge: (u, v) with u in the source super-node, v in the
+#: target super-node, plus the target's super-node id.
+SuperEdge = Tuple[int, int, int]
+
+
+class SuperOps:
+    """Communication primitives over a super-graph of node groups.
+
+    Implementations must provide, for the super-nodes with chosen edges:
+
+    * :meth:`push_up` — each source sends a value over its chosen edge; the
+      *target* super-node's leader receives the aggregate of incoming
+      values (used for in-degree counting);
+    * :meth:`push_down` — each target super-node publishes a value; each
+      *source* super-node's leader learns its target's value (used for
+      receiver notification and successor colors in Cole-Vishkin);
+    * :meth:`push_pred` — symmetric to push_down: each source publishes,
+      each target's leader learns the aggregate of its predecessors'
+      values (used for predecessor colors in the shift-down steps).
+    """
+
+    def edges(self) -> Dict[int, SuperEdge]:
+        """Chosen edge per participating super-node id."""
+        raise NotImplementedError
+
+    def all_supernodes(self) -> Sequence[int]:
+        raise NotImplementedError
+
+    def push_up(self, value_of: Dict[int, object], agg: Aggregation) -> Dict[int, object]:
+        raise NotImplementedError
+
+    def push_down(self, value_of: Dict[int, object]) -> Dict[int, object]:
+        raise NotImplementedError
+
+    def push_pred(self, value_of: Dict[int, object], agg: Aggregation) -> Dict[int, object]:
+        raise NotImplementedError
+
+    def initial_color(self, sid: int) -> int:
+        """Distinct O(log n)-bit starting color (the leader's uid)."""
+        raise NotImplementedError
+
+
+def compute_star_joining(
+    ops: SuperOps, participants: Set[int]
+) -> Tuple[Set[int], Dict[int, SuperEdge]]:
+    """Algorithm 5: returns (receivers, join edge per joiner).
+
+    ``participants`` are the super-nodes that want to merge; each must have
+    a chosen edge in ``ops.edges()``.  Targets outside ``participants``
+    (e.g. already-complete sub-parts) are receivers by default.  Every
+    participant ends up either a receiver or a joiner.
+    """
+    edges = ops.edges()
+    target_of = {sid: edges[sid][2] for sid in participants}
+
+    # Line 3: in-degree >= 2 (among participants) makes a receiver; any
+    # non-participant target is a receiver outright.
+    indeg = ops.push_up({sid: 1 for sid in participants}, SUM)
+    receivers: Set[int] = {
+        sid for sid, count in indeg.items() if count is not None and count >= 2
+    }
+    receivers.update(
+        target for target in target_of.values() if target not in participants
+    )
+
+    joins: Dict[int, SuperEdge] = {}
+
+    def absorb_joiners(residual: Set[int]) -> Set[int]:
+        """Participants pointing at a receiver become joiners (line 4/9)."""
+        status = ops.push_down(
+            {sid: (1 if sid in receivers else 0) for sid in ops.all_supernodes()}
+        )
+        new_joiners = {
+            sid
+            for sid in residual
+            if sid not in receivers and status.get(sid) == 1
+        }
+        for sid in new_joiners:
+            joins[sid] = edges[sid]
+        return residual - new_joiners - receivers
+
+    residual = absorb_joiners(set(participants))
+
+    # Lines 6-9: the residual functional graph has in/out degree <= 1;
+    # 3-color it with Cole-Vishkin and resolve the color classes in turn.
+    if residual:
+        colors = {sid: ops.initial_color(sid) for sid in residual}
+
+        def live_successor(sid: int) -> Optional[int]:
+            target = target_of[sid]
+            return target if target in residual else None
+
+        steps = cv_iterations_needed(max(colors.values()))
+        for _ in range(steps):
+            succ_colors = ops.push_down(
+                {sid: colors.get(sid, -1) for sid in ops.all_supernodes()}
+            )
+            colors = {
+                sid: cv_step(
+                    colors[sid],
+                    succ_colors.get(sid)
+                    if live_successor(sid) is not None
+                    else None,
+                )
+                for sid in residual
+            }
+        for high in (5, 4, 3):
+            succ_colors = ops.push_down(
+                {sid: colors.get(sid, -1) for sid in ops.all_supernodes()}
+            )
+            pred_colors = ops.push_pred(
+                {sid: colors[sid] for sid in residual}, MIN
+            )
+            colors = {
+                sid: shift_down_step(
+                    colors[sid],
+                    pred_colors.get(sid),
+                    succ_colors.get(sid)
+                    if live_successor(sid) is not None
+                    else None,
+                    high,
+                )
+                for sid in residual
+            }
+
+        for k in (0, 1, 2):
+            receivers.update(sid for sid in residual if colors[sid] == k)
+            residual = absorb_joiners(residual)
+            if not residual:
+                break
+
+    if residual:
+        raise AssertionError("star joining left unresolved super-nodes")
+    return receivers, joins
+
+
+class _CrossEdgeProgram(Program):
+    """One round: send a payload across each given directed graph edge."""
+
+    name = "super_cross"
+
+    def __init__(self, sends: List[Tuple[int, int, object]]) -> None:
+        self.sends = sends
+        self.received: Dict[int, List[Tuple[int, object]]] = {}
+
+    def on_start(self, ctx: Context) -> None:
+        for src, dst, payload in self.sends:
+            ctx.send(src, dst, payload)
+
+    def on_node(self, ctx: Context, node: int, inbox: Inbox) -> None:
+        self.received.setdefault(node, []).extend(inbox)
+
+
+class TreeSuperOps(SuperOps):
+    """Super-node communication over sub-part spanning trees (Algorithm 6).
+
+    Super-nodes are tree roots of ``forest``; every push is implemented as
+    broadcast-down / one cross round / convergecast-up, all metered.  The
+    in-edge knowledge required by push_down/push_pred (which member holds
+    an edge from a predecessor) is recorded when the caller runs
+    :meth:`announce_requests`.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        net: Network,
+        forest: RootedForest,
+        chosen: Dict[int, SuperEdge],
+        ledger: CostLedger,
+        phase_prefix: str = "star",
+    ) -> None:
+        self.engine = engine
+        self.net = net
+        self.forest = forest
+        self.chosen = chosen
+        self.ledger = ledger
+        self.prefix = phase_prefix
+        #: (member v, source endpoint u, source sid) per target sid
+        self.in_edges: Dict[int, List[Tuple[int, int, int]]] = {}
+        self._announced = False
+
+    # -- plumbing ------------------------------------------------------
+    def _root_of(self, v: int) -> int:
+        return self.forest.root_of(v)
+
+    def edges(self) -> Dict[int, SuperEdge]:
+        return self.chosen
+
+    def all_supernodes(self) -> Sequence[int]:
+        return self.forest.roots
+
+    def initial_color(self, sid: int) -> int:
+        return self.net.uid[sid]
+
+    def announce_requests(self) -> None:
+        """Record in-edge knowledge: targets learn who points at them."""
+        sends = [
+            (u, v, ("jreq", sid)) for sid, (u, v, _t) in self.chosen.items()
+        ]
+        program = _CrossEdgeProgram(sends)
+        program.name = f"{self.prefix}_announce"
+        stats = self.engine.run(program, max_ticks=2)
+        self.ledger.charge(stats)
+        for v, incoming in program.received.items():
+            for u, payload in incoming:
+                _tag, sid = payload
+                self.in_edges.setdefault(self._root_of(v), []).append((v, u, sid))
+        self._announced = True
+
+    # -- pushes --------------------------------------------------------
+    def _broadcast_values(self, value_of: Dict[int, object]) -> Dict[int, object]:
+        root_values = {
+            sid: value_of[sid] for sid in self.forest.roots if sid in value_of
+        }
+        return tree_broadcast(
+            self.engine, self.forest, root_values, self.ledger,
+            name=f"{self.prefix}_broadcast",
+        )
+
+    def _convergecast(self, values: List[object], agg: Aggregation) -> Dict[int, object]:
+        at_root, _ = tree_convergecast(
+            self.engine, self.forest, agg, values, self.ledger,
+            name=f"{self.prefix}_convergecast",
+        )
+        return at_root
+
+    def push_up(self, value_of: Dict[int, object], agg: Aggregation) -> Dict[int, object]:
+        received = self._broadcast_values(value_of)
+        sends = []
+        for sid, (u, v, _t) in self.chosen.items():
+            if sid in value_of:
+                sends.append((u, v, ("up", received.get(u, value_of[sid]))))
+        program = _CrossEdgeProgram(sends)
+        program.name = f"{self.prefix}_cross_up"
+        stats = self.engine.run(program, max_ticks=2)
+        self.ledger.charge(stats)
+        values: List[object] = [None] * self.net.n
+        for v, incoming in program.received.items():
+            for _u, payload in incoming:
+                _tag, value = payload
+                values[v] = agg.merge(values[v], value)
+        at_root = self._convergecast(values, agg)
+        return {sid: val for sid, val in at_root.items() if val is not None}
+
+    def push_down(self, value_of: Dict[int, object]) -> Dict[int, object]:
+        if not self._announced:
+            self.announce_requests()
+        received = self._broadcast_values(value_of)
+        sends = []
+        for target_sid, holders in self.in_edges.items():
+            for v, u, _src_sid in holders:
+                if target_sid in value_of:
+                    sends.append((v, u, ("down", received.get(v))))
+        program = _CrossEdgeProgram(sends)
+        program.name = f"{self.prefix}_cross_down"
+        stats = self.engine.run(program, max_ticks=2)
+        self.ledger.charge(stats)
+        values: List[object] = [None] * self.net.n
+        for u, incoming in program.received.items():
+            for _v, payload in incoming:
+                _tag, value = payload
+                values[u] = value if values[u] is None else min(values[u], value)
+        at_root = self._convergecast(values, MIN)
+        return {sid: val for sid, val in at_root.items() if val is not None}
+
+    def push_pred(self, value_of: Dict[int, object], agg: Aggregation) -> Dict[int, object]:
+        return self.push_up(value_of, agg)

@@ -1,0 +1,294 @@
+"""Sub-part divisions (Definition 4.1) and their randomized construction.
+
+A sub-part division refines the PA partition: every part with more than
+``D`` nodes is split into ``O~(|P_i| / D)`` *sub-parts*, each with a
+spanning tree of diameter ``O(D)`` rooted at a *representative*.  Only
+representatives inject messages into shortcut blocks, which is the paper's
+key device for message-optimality (Section 3.2).
+
+This module holds the :class:`SubPartDivision` structure plus the
+randomized construction (Algorithm 3): representatives self-sample with
+probability ``Theta(log n / D)`` and claim BFS balls of radius ``O(D)``
+around themselves.  The deterministic construction (Algorithm 6) lives in
+:mod:`repro.core.subparts_det`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..congest.engine import Context, Engine, Inbox, Program
+from ..congest.ledger import CostLedger
+from ..congest.network import Network
+from ..graphs.partitions import Partition
+from .aggregation import SUM
+from .treeops import claim_bfs, convergecast
+from .trees import ABSENT, ROOT, RootedForest
+
+
+@dataclass
+class SubPartDivision:
+    """A sub-part division of a partition.
+
+    Attributes
+    ----------
+    forest:
+        Spanning forest of all nodes; each tree is one sub-part, rooted at
+        the sub-part's representative.
+    rep_of:
+        ``rep_of[v]`` is the representative (tree root) of v's sub-part.
+    part_leader:
+        ``part_leader[pid]`` is the part's leader node; every member knows
+        it (the standing assumption of Section 4, discharged by Algorithm 9
+        when absent).
+    """
+
+    partition: Partition
+    forest: RootedForest
+    rep_of: Tuple[int, ...]
+    part_leader: Tuple[int, ...]
+
+    def subparts_of_part(self, pid: int) -> List[int]:
+        """Representatives of the sub-parts refining part ``pid``."""
+        return sorted(
+            {self.rep_of[v] for v in self.partition.members[pid]}
+        )
+
+    def num_subparts(self) -> int:
+        """Total number of sub-parts."""
+        return len(self.forest.roots)
+
+    def max_subpart_depth(self) -> int:
+        """Max sub-part tree depth (diameter is at most twice this)."""
+        return self.forest.height()
+
+    def validate(self, diameter_bound: Optional[int] = None) -> None:
+        """Check Definition 4.1: sub-parts nest in parts; trees span them."""
+        part_of = self.partition.part_of
+        for v in range(len(part_of)):
+            rep = self.rep_of[v]
+            if part_of[rep] != part_of[v]:
+                raise ValueError(
+                    f"node {v} (part {part_of[v]}) has representative {rep}"
+                    f" in part {part_of[rep]}"
+                )
+            if self.forest.root_of(v) != rep:
+                raise ValueError(f"rep_of[{v}] disagrees with the forest")
+        if diameter_bound is not None:
+            if self.forest.height() > diameter_bound:
+                raise ValueError(
+                    f"sub-part tree depth {self.forest.height()} exceeds"
+                    f" bound {diameter_bound}"
+                )
+
+
+class _UncoveredAnnounceProgram(Program):
+    """One round: nodes not claimed by the BFS tell their in-part neighbors.
+
+    The coverage check of Algorithm 3 / the small-part test: a leader can
+    only be sure its BFS spanned the part if no claimed node is adjacent to
+    an unclaimed in-part node.
+    """
+
+    name = "uncovered_announce"
+
+    def __init__(
+        self,
+        net: Network,
+        part_of: Sequence[int],
+        covered: Sequence[bool],
+    ) -> None:
+        self.net = net
+        self.part_of = part_of
+        self.covered = covered
+        self.heard_uncovered: Set[int] = set()
+
+    def on_start(self, ctx: Context) -> None:
+        for v in range(self.net.n):
+            if not self.covered[v]:
+                for nb in self.net.neighbors[v]:
+                    if self.part_of[nb] == self.part_of[v]:
+                        ctx.send(v, nb, ("uncov",))
+
+    def on_node(self, ctx: Context, node: int, inbox: Inbox) -> None:
+        if inbox:
+            self.heard_uncovered.add(node)
+
+
+def _coverage_check(
+    engine: Engine,
+    net: Network,
+    part_of: Sequence[int],
+    forest: RootedForest,
+    covered: Sequence[bool],
+    ledger: CostLedger,
+    name: str,
+) -> Dict[int, object]:
+    """Convergecast (count, any-uncovered-neighbor) to each claim root."""
+    announce = _UncoveredAnnounceProgram(net, part_of, covered)
+    announce.name = f"{name}_announce"
+    stats = engine.run(announce, max_ticks=2)
+    ledger.charge(stats)
+
+    values: List[Optional[Tuple[int, int]]] = [None] * net.n
+    for v in range(net.n):
+        if covered[v]:
+            flag = 1 if v in announce.heard_uncovered else 0
+            values[v] = (1, flag)
+    pair_sum = SUM  # componentwise via tuple addition replacement below
+
+    # Tuple-wise sum aggregation: (count, flags) + (count, flags).
+    from .aggregation import Aggregation
+
+    tup_sum = Aggregation("pair_sum", lambda a, b: (a[0] + b[0], a[1] + b[1]))
+    at_root, _ = convergecast(
+        engine, forest, tup_sum, values, ledger, name=f"{name}_convergecast"
+    )
+    return at_root
+
+
+def build_subpart_division_randomized(
+    engine: Engine,
+    net: Network,
+    partition: Partition,
+    leaders: Sequence[int],
+    diameter: int,
+    ledger: CostLedger,
+    rng: random.Random,
+) -> SubPartDivision:
+    """Algorithm 3: randomized sub-part division.
+
+    Phases (all metered):
+
+    1. *Small-part probe*: every leader BFS-claims its part to depth ``D``;
+       a coverage check tells the leader whether the part was spanned with
+       at most ``D`` nodes.  Such parts become a single sub-part rooted at
+       the leader.
+    2. *Representative sampling*: in large parts, every node self-elects
+       with probability ``min(1, 8 ln n / D)``; representatives BFS-claim
+       balls of radius ``2D`` inside the part.
+    3. *Fallback sweep*: any node left unclaimed (probability 1/poly(n))
+       elects itself and claims; repeats until covered.  This replaces a
+       w.h.p. argument with a certain loop whose extra cost is metered.
+
+    Returns a validated :class:`SubPartDivision`.
+    """
+    n = net.n
+    depth_limit = max(1, diameter)
+    part_of = partition.part_of
+
+    def same_part(u: int, v: int) -> bool:
+        return part_of[u] == part_of[v]
+
+    # Phase 1: leaders probe their parts to depth D.
+    leader_tokens = {leader: net.uid[leader] for leader in leaders}
+    probe = claim_bfs(
+        engine,
+        net,
+        leader_tokens,
+        ledger,
+        allowed=same_part,
+        max_depth=depth_limit,
+        name="subpart_probe",
+    )
+    covered = [probe.token_of[v] is not None for v in range(n)]
+    at_root = _coverage_check(
+        engine, net, part_of, probe.forest(), covered, ledger, "subpart_probe"
+    )
+
+    small_parts: Set[int] = set()
+    for pid, leader in enumerate(leaders):
+        info = at_root.get(leader)
+        if info is not None:
+            count, uncovered_flags = info
+            if count <= depth_limit and uncovered_flags == 0:
+                small_parts.add(pid)
+
+    parent: List[int] = [ABSENT] * n
+    rep_of: List[int] = [-1] * n
+    for v in range(n):
+        pid = part_of[v]
+        if pid in small_parts:
+            parent[v] = probe.parent_of[v]
+            rep_of[v] = leaders[pid]
+
+    # Phase 2 + 3: sample representatives in large parts; sweep until
+    # every large-part node is claimed.  The paper samples at
+    # Theta(log n / D); the constant matters at simulation scales (too
+    # high and every node elects itself, degenerating the division), and
+    # the fallback sweep below makes coverage certain regardless.
+    prob = min(1.0, 2.0 * math.log(max(2, n)) / depth_limit)
+    unclaimed = [
+        v for v in range(n) if part_of[v] not in small_parts
+    ]
+    sweep = 0
+    while unclaimed:
+        sweep += 1
+        tokens: Dict[int, object] = {}
+        for v in unclaimed:
+            if rng.random() < prob or sweep > 1 and rng.random() < 0.5:
+                tokens[v] = net.uid[v]
+        if not tokens:
+            # Degenerate sample; force the minimum-uid unclaimed node.
+            forced = min(unclaimed, key=lambda v: net.uid[v])
+            tokens[forced] = net.uid[forced]
+
+        def claimable(u: int, v: int) -> bool:
+            return same_part(u, v) and rep_of[v] == -1 and rep_of[u] == -1
+
+        claim = claim_bfs(
+            engine,
+            net,
+            tokens,
+            ledger,
+            allowed=claimable,
+            max_depth=2 * depth_limit,
+            name=f"subpart_claim_{sweep}",
+        )
+        for v in unclaimed:
+            token = claim.token_of[v]
+            if token is not None:
+                parent[v] = claim.parent_of[v]
+                rep_of[v] = net.node_of_uid(token)
+        unclaimed = [v for v in unclaimed if rep_of[v] == -1]
+        if sweep > 2 * math.ceil(math.log2(max(2, n))) + 4:
+            raise RuntimeError("sub-part sweep failed to converge")
+
+    forest = RootedForest(net, parent)
+    division = SubPartDivision(
+        partition=partition,
+        forest=forest,
+        rep_of=tuple(rep_of),
+        part_leader=tuple(leaders),
+    )
+    division.validate(diameter_bound=2 * depth_limit)
+    return division
+
+
+def division_from_groups(
+    net: Network,
+    partition: Partition,
+    leaders: Sequence[int],
+    groups: Sequence[Sequence[int]],
+    reps: Optional[Sequence[int]] = None,
+) -> SubPartDivision:
+    """Oracle-side division from explicit sub-part member lists (tests)."""
+    from .trees import spanning_forest_of_subsets
+
+    forest = spanning_forest_of_subsets(net, groups)
+    rep_of = [-1] * net.n
+    for idx, group in enumerate(groups):
+        root = forest.root_of(group[0])
+        for v in group:
+            rep_of[v] = root
+    division = SubPartDivision(
+        partition=partition,
+        forest=forest,
+        rep_of=tuple(rep_of),
+        part_leader=tuple(leaders),
+    )
+    division.validate()
+    return division

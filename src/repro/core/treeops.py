@@ -1,0 +1,277 @@
+"""Engine programs over rooted forests: broadcast, convergecast, BFS.
+
+These are the communication workhorses every higher-level algorithm calls.
+All of them operate on *forests* — many trees in parallel in a single
+phase — because the paper's algorithms always run all parts / sub-parts /
+fragments concurrently, relying on the trees being edge-disjoint.
+
+Costs (metered, but also the design targets):
+
+* :func:`broadcast` — rounds = max tree height, messages = #non-root nodes
+  reached.
+* :func:`convergecast` — rounds = max tree height + 1, messages =
+  #non-root nodes.
+* :func:`claim_bfs` — rounds <= depth limit + 2, messages <= 2m + n
+  (each node announces its claim once per incident edge, plus one
+  parent-ack).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..congest.engine import Context, Engine, Inbox, Program
+from ..congest.ledger import CostLedger, PhaseStats
+from ..congest.network import Network
+from .aggregation import Aggregation
+from .trees import ABSENT, ROOT, RootedForest
+
+
+class BroadcastProgram(Program):
+    """Broadcast a value from each tree root down its tree.
+
+    ``root_values[r]`` is the value injected at root ``r``; after the phase
+    ``received[v]`` holds the value of v's tree for every forest node.
+    """
+
+    name = "tree_broadcast"
+
+    def __init__(self, forest: RootedForest, root_values: Dict[int, object]) -> None:
+        self.forest = forest
+        self.root_values = root_values
+        self.received: Dict[int, object] = {}
+
+    def on_start(self, ctx: Context) -> None:
+        for root, value in self.root_values.items():
+            if self.forest.parent[root] != ROOT:
+                raise ValueError(f"{root} is not a root of the forest")
+            self.received[root] = value
+            for child in self.forest.children[root]:
+                ctx.send(root, child, value)
+
+    def on_node(self, ctx: Context, node: int, inbox: Inbox) -> None:
+        for _sender, value in inbox:
+            self.received[node] = value
+            for child in self.forest.children[node]:
+                ctx.send(node, child, value)
+
+
+class ConvergecastProgram(Program):
+    """Aggregate per-node values up to each tree root.
+
+    After the phase, ``at_root[r]`` is the aggregate over r's tree and
+    ``partial[v]`` is the aggregate over v's subtree (useful for subtree
+    statistics).  ``values[v]`` may be ``None`` (contributes nothing).
+    """
+
+    name = "tree_convergecast"
+
+    def __init__(
+        self,
+        forest: RootedForest,
+        agg: Aggregation,
+        values: Sequence[object],
+    ) -> None:
+        self.forest = forest
+        self.agg = agg
+        self.values = values
+        self.at_root: Dict[int, object] = {}
+        self.partial: Dict[int, object] = {}
+        self._pending: Dict[int, int] = {}
+
+    def on_start(self, ctx: Context) -> None:
+        for v in self.forest.members():
+            self._pending[v] = len(self.forest.children[v])
+            self.partial[v] = self.values[v]
+        for v in self.forest.members():
+            if self._pending[v] == 0:
+                self._fire(ctx, v)
+
+    def _fire(self, ctx: Context, v: int) -> None:
+        parent = self.forest.parent[v]
+        if parent == ROOT:
+            self.at_root[v] = self.partial[v]
+        else:
+            ctx.send(v, parent, self.partial[v])
+
+    def on_node(self, ctx: Context, node: int, inbox: Inbox) -> None:
+        for _sender, value in inbox:
+            self.partial[node] = self.agg.merge(self.partial[node], value)
+            self._pending[node] -= 1
+        if self._pending[node] == 0:
+            self._pending[node] = -1  # fire exactly once
+            self._fire(ctx, node)
+
+
+class ClaimBfsProgram(Program):
+    """Parallel BFS claiming from multiple sources.
+
+    Each source ``s`` starts with token ``tokens[s]``; tokens propagate one
+    hop per round and every unclaimed node adopts the smallest token it
+    hears first (ties by token order, which callers arrange to be uid
+    order).  ``allowed(u, v)`` restricts which edges the BFS may cross —
+    e.g. "stay inside part P_i".  ``max_depth`` bounds the claim radius.
+
+    Outputs: ``token_of[v]`` (claim token or None), ``parent_of[v]``,
+    ``depth_of[v]``, and ``children_of[v]`` (filled by explicit acks).
+    """
+
+    name = "claim_bfs"
+
+    def __init__(
+        self,
+        net: Network,
+        tokens: Dict[int, object],
+        allowed: Optional[Callable[[int, int], bool]] = None,
+        max_depth: Optional[int] = None,
+    ) -> None:
+        self.net = net
+        self.tokens = tokens
+        self.allowed = allowed
+        self.max_depth = max_depth
+        self.token_of: List[Optional[object]] = [None] * net.n
+        self.parent_of: List[int] = [ABSENT] * net.n
+        self.depth_of: List[int] = [-1] * net.n
+        self.children_of: List[List[int]] = [[] for _ in range(net.n)]
+
+    def _spread(self, ctx: Context, node: int, depth: int, exclude: int = -1) -> None:
+        if self.max_depth is not None and depth >= self.max_depth:
+            return
+        token = self.token_of[node]
+        for nb in self.net.neighbors[node]:
+            if nb == exclude:
+                continue  # the parent gets the token inside the child ack
+            if self.allowed is None or self.allowed(node, nb):
+                ctx.send(node, nb, ("claim", token, depth + 1))
+
+    def on_start(self, ctx: Context) -> None:
+        for source, token in self.tokens.items():
+            self.token_of[source] = token
+            self.parent_of[source] = ROOT
+            self.depth_of[source] = 0
+        for source in self.tokens:
+            self._spread(ctx, source, 0)
+
+    def on_node(self, ctx: Context, node: int, inbox: Inbox) -> None:
+        best: Optional[Tuple[object, int, int]] = None
+        for sender, payload in inbox:
+            kind = payload[0]
+            if kind == "claim":
+                _tag, token, depth = payload
+                candidate = (token, depth, sender)
+                if best is None or candidate < best:
+                    best = candidate
+            elif kind == "child":
+                self.children_of[node].append(sender)
+        if best is None or self.token_of[node] is not None:
+            return
+        token, depth, sender = best
+        self.token_of[node] = token
+        self.parent_of[node] = sender
+        self.depth_of[node] = depth
+        ctx.send(node, sender, ("child", token))
+        self._spread(ctx, node, depth, exclude=sender)
+
+    def forest(self) -> RootedForest:
+        """The claimed BFS forest (roots = sources that claimed anyone)."""
+        return RootedForest(self.net, self.parent_of)
+
+
+class FloodMinProgram(Program):
+    """Flood the minimum token through a (restricted) graph.
+
+    Every participating node starts with its own token; whenever a node
+    hears a smaller token it adopts it, re-points its parent at the sender,
+    and re-announces.  At quiescence every connected region agrees on its
+    minimum token and the parent pointers form a BFS-like tree rooted at
+    the minimum's holder.
+
+    This is the substitute for Kutten et al.'s leader election (see
+    DESIGN.md, substitution 3): same O(D) rounds; messages are metered.
+    """
+
+    name = "flood_min"
+
+    def __init__(
+        self,
+        net: Network,
+        tokens: Dict[int, object],
+        allowed: Optional[Callable[[int, int], bool]] = None,
+    ) -> None:
+        self.net = net
+        self.initial = tokens
+        self.allowed = allowed
+        self.best: Dict[int, object] = {}
+        self.parent_of: Dict[int, int] = {}
+
+    def _announce(self, ctx: Context, node: int) -> None:
+        token = self.best[node]
+        for nb in self.net.neighbors[node]:
+            if self.allowed is None or self.allowed(node, nb):
+                ctx.send(node, nb, token)
+
+    def on_start(self, ctx: Context) -> None:
+        for node, token in self.initial.items():
+            self.best[node] = token
+            self.parent_of[node] = ROOT
+        for node in self.initial:
+            self._announce(ctx, node)
+
+    def on_node(self, ctx: Context, node: int, inbox: Inbox) -> None:
+        improved = False
+        for sender, token in inbox:
+            if node not in self.best or token < self.best[node]:
+                self.best[node] = token
+                self.parent_of[node] = sender
+                improved = True
+        if improved:
+            self._announce(ctx, node)
+
+
+def broadcast(
+    engine: Engine,
+    forest: RootedForest,
+    root_values: Dict[int, object],
+    ledger: CostLedger,
+    name: str = "tree_broadcast",
+) -> Dict[int, object]:
+    """Run a forest broadcast phase; returns per-node received values."""
+    program = BroadcastProgram(forest, root_values)
+    program.name = name
+    stats = engine.run(program, max_ticks=forest.height() + 2)
+    ledger.charge(stats)
+    return program.received
+
+
+def convergecast(
+    engine: Engine,
+    forest: RootedForest,
+    agg: Aggregation,
+    values: Sequence[object],
+    ledger: CostLedger,
+    name: str = "tree_convergecast",
+) -> Tuple[Dict[int, object], Dict[int, object]]:
+    """Run a forest convergecast; returns (aggregate at roots, subtree partials)."""
+    program = ConvergecastProgram(forest, agg, values)
+    program.name = name
+    stats = engine.run(program, max_ticks=forest.height() + 2)
+    ledger.charge(stats)
+    return program.at_root, program.partial
+
+
+def claim_bfs(
+    engine: Engine,
+    net: Network,
+    tokens: Dict[int, object],
+    ledger: CostLedger,
+    allowed: Optional[Callable[[int, int], bool]] = None,
+    max_depth: Optional[int] = None,
+    name: str = "claim_bfs",
+) -> ClaimBfsProgram:
+    """Run a parallel claiming BFS; returns the finished program object."""
+    program = ClaimBfsProgram(net, tokens, allowed=allowed, max_depth=max_depth)
+    program.name = name
+    limit = (max_depth or net.n) + 3
+    stats = engine.run(program, max_ticks=limit)
+    ledger.charge(stats)
+    return program

@@ -1,0 +1,199 @@
+"""Rooted forests: the structural backbone of every algorithm here.
+
+Spanning BFS trees (the ``T`` of tree-restricted shortcuts), sub-part
+spanning trees, part spanning trees and Boruvka fragments are all instances
+of :class:`RootedForest`: a parent-pointer forest over (a subset of) the
+network's nodes, where every parent edge is a real network edge.
+
+The forest is *node-local knowledge*: node ``v`` knows its parent, its
+children and its depth — exactly what the distributed constructions below
+establish — so engine programs may read ``forest.parent[v]`` inside
+``on_node`` without cheating.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..congest.network import Network
+
+#: ``parent`` value for a root node.
+ROOT = -1
+#: ``parent`` value for a node not in the forest.
+ABSENT = -2
+
+
+class RootedForest:
+    """A forest of rooted trees whose edges are network edges.
+
+    Attributes
+    ----------
+    parent:
+        ``parent[v]`` is v's parent node, :data:`ROOT` for roots, and
+        :data:`ABSENT` for nodes outside the forest.
+    children:
+        ``children[v]`` is the tuple of v's children (empty for absent
+        nodes).
+    depth:
+        Hop distance to the tree root (0 for roots, -1 for absent nodes).
+    roots:
+        Tuple of root nodes, sorted.
+    """
+
+    def __init__(self, net: Network, parent: Sequence[int]) -> None:
+        if len(parent) != net.n:
+            raise ValueError("parent array must cover all nodes")
+        self.net = net
+        self.parent: Tuple[int, ...] = tuple(parent)
+
+        children: List[List[int]] = [[] for _ in range(net.n)]
+        roots: List[int] = []
+        for v, p in enumerate(self.parent):
+            if p == ROOT:
+                roots.append(v)
+            elif p == ABSENT:
+                continue
+            else:
+                if not net.has_edge(v, p):
+                    raise ValueError(
+                        f"forest parent edge ({v}, {p}) is not a network edge"
+                    )
+                children[p].append(v)
+        self.children: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(sorted(ch)) for ch in children
+        )
+        self.roots: Tuple[int, ...] = tuple(sorted(roots))
+
+        depth = [-1] * net.n
+        order: List[int] = []
+        for r in self.roots:
+            depth[r] = 0
+            order.append(r)
+        head = 0
+        while head < len(order):
+            u = order[head]
+            head += 1
+            for c in self.children[u]:
+                depth[c] = depth[u] + 1
+                order.append(c)
+        self.depth: Tuple[int, ...] = tuple(depth)
+        #: Topological (BFS) order from the roots: parents precede children.
+        self.order: Tuple[int, ...] = tuple(order)
+
+        in_forest = sum(1 for p in self.parent if p != ABSENT)
+        if len(order) != in_forest:
+            raise ValueError("parent pointers contain a cycle")
+
+    # ------------------------------------------------------------------
+    def member(self, v: int) -> bool:
+        """True iff ``v`` belongs to the forest."""
+        return self.parent[v] != ABSENT
+
+    def members(self) -> Iterable[int]:
+        """All forest nodes, parents before children."""
+        return self.order
+
+    def size(self) -> int:
+        """Number of nodes in the forest."""
+        return len(self.order)
+
+    def height(self) -> int:
+        """Maximum depth over all forest nodes (0 for a single root)."""
+        return max((self.depth[v] for v in self.order), default=0)
+
+    def root_of(self, v: int) -> int:
+        """Root of the tree containing ``v`` (walks parent pointers)."""
+        while self.parent[v] >= 0:
+            v = self.parent[v]
+        return v
+
+    def path_to_root(self, v: int) -> List[int]:
+        """Nodes on the path v -> root, inclusive."""
+        path = [v]
+        while self.parent[v] >= 0:
+            v = self.parent[v]
+            path.append(v)
+        return path
+
+    def subtree_sizes(self) -> List[int]:
+        """Size of each node's subtree (oracle-side; O(n))."""
+        size = [0] * self.net.n
+        for v in reversed(self.order):
+            size[v] = 1 + sum(size[c] for c in self.children[v])
+        return size
+
+    def subtree_nodes(self, v: int) -> List[int]:
+        """All nodes in v's subtree (oracle-side)."""
+        out = [v]
+        head = 0
+        while head < len(out):
+            u = out[head]
+            head += 1
+            out.extend(self.children[u])
+        return out
+
+    def tree_edges(self) -> List[Tuple[int, int]]:
+        """All (child, parent) edges of the forest."""
+        return [
+            (v, p) for v, p in enumerate(self.parent) if p >= 0
+        ]
+
+    def restrict_roots(self) -> Dict[int, List[int]]:
+        """Map each root to the members of its tree (oracle-side)."""
+        by_root: Dict[int, List[int]] = {r: [] for r in self.roots}
+        root_of = [-1] * self.net.n
+        for v in self.order:
+            p = self.parent[v]
+            root_of[v] = v if p == ROOT else root_of[p]
+            by_root[root_of[v]].append(v)
+        return by_root
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RootedForest(trees={len(self.roots)}, nodes={self.size()},"
+            f" height={self.height()})"
+        )
+
+
+def forest_from_parent_map(
+    net: Network, parent_map: Dict[int, int], roots: Iterable[int]
+) -> RootedForest:
+    """Build a forest from a sparse child->parent map plus explicit roots."""
+    parent = [ABSENT] * net.n
+    for r in roots:
+        parent[r] = ROOT
+    for child, par in parent_map.items():
+        if parent[child] == ROOT:
+            raise ValueError(f"root {child} cannot also have a parent")
+        parent[child] = par
+    return RootedForest(net, parent)
+
+
+def spanning_forest_of_subsets(
+    net: Network, groups: Iterable[Iterable[int]]
+) -> RootedForest:
+    """Oracle-side spanning forest: one BFS tree per node group.
+
+    Used by tests to fabricate sub-part divisions with known structure; the
+    distributed constructions in :mod:`repro.core.subparts` produce the same
+    type of object via messages.
+    """
+    parent = [ABSENT] * net.n
+    for group in groups:
+        group_set = set(group)
+        root = min(group_set)
+        parent[root] = ROOT
+        frontier = [root]
+        seen = {root}
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for v in net.neighbors[u]:
+                    if v in group_set and v not in seen:
+                        seen.add(v)
+                        parent[v] = u
+                        nxt.append(v)
+            frontier = nxt
+        if seen != group_set:
+            raise ValueError("group does not induce a connected subgraph")
+    return RootedForest(net, parent)

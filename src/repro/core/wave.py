@@ -1,0 +1,523 @@
+"""The PA wave: Algorithm 1 in event-driven form.
+
+Algorithm 1 broadcasts a token ``m_i`` from each part leader to every node
+of the part, alternating BlockRoute steps over shortcut blocks with
+intra-sub-part broadcasts and boundary crossings, then computes ``f(P_i)``
+"symmetrically" and broadcasts the result.  We implement it as three
+phases, each a single engine program over *all parts concurrently*:
+
+1. :class:`WaveProgram` — the token broadcast.  Five message kinds:
+
+   * ``ru`` — route up a sub-part tree toward its representative
+     (Algorithm 1 lines 8 and 18);
+   * ``su`` — broadcast down a sub-part tree (line 14);
+   * ``bd`` — cross sub-part boundary edges inside the part (line 15);
+   * ``ku`` — climb shortcut-block edges toward the block root;
+   * ``kd`` — flood down all block edges (``ku`` + ``kd`` = the
+     BlockRoute of Lemma 4.2, with packets prioritized by
+     (block-root depth, part id) and queued per directed tree edge).
+
+   Only representatives inject into blocks (Observation 4.3's message
+   bound); every node forwards each kind at most once per part, so the
+   wave uses O(n) sub-part messages, O(2 m) boundary messages and
+   O(sum_i |H_i|) block messages.  Unlike the paper's phrasing there is no
+   global barrier between the ``b`` iterations: each block/sub-part
+   activates once, when the token first reaches it, which is the same
+   schedule without idle waiting.  The randomized variant (Section 4.2)
+   delays each part's start uniformly in [0, c) and runs with per-edge
+   capacity Theta(log n), each engine tick costing that many CONGEST
+   rounds — exactly the paper's meta-round accounting.
+
+2. :class:`ReverseProgram` — the aggregation.  The broadcast recorded, per
+   (node, part), every wave message sent and received and the *wave
+   parent* (first token source).  Reversal answers every recorded wave
+   edge with exactly one value-or-None message: non-parent edges are
+   answered ``None`` immediately; the parent edge is answered with the
+   node's contribution merged with all received answers, once every
+   outgoing wave edge has been answered.  Because wave parents form a
+   forest rooted at the leaders, this convergecast is deadlock-free and
+   costs exactly one message per wave message.
+
+3. :class:`ReplayProgram` — the result broadcast: the leader's aggregate
+   retraces the recorded wave edges.
+
+Together: 3x the wave's rounds and messages, matching Lemma 4.4.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..congest.engine import Context, Engine, Inbox
+from ..congest.ledger import CostLedger
+from ..congest.network import Network
+from ..graphs.partitions import Partition
+from .aggregation import Aggregation
+from .blocks import BlockAnnotations
+from .queued import QueuedProgram
+from .shortcuts import Shortcut
+from .subparts import SubPartDivision
+from .trees import ROOT
+
+
+@dataclass
+class WaveRecord:
+    """What the broadcast learned, for reversal and replay.
+
+    ``out_edges[(v, pid)]`` — (dst, tag) wave messages v physically sent
+    for part pid; ``in_edges[(v, pid)]`` — (src, tag) received;
+    ``parent[(v, pid)]`` — the first token source (None for the leader);
+    ``reached[pid]`` — part members that received the token.
+    """
+
+    out_edges: Dict[Tuple[int, int], List[Tuple[int, str]]]
+    in_edges: Dict[Tuple[int, int], List[Tuple[int, str]]]
+    parent: Dict[Tuple[int, int], Optional[int]]
+    reached: Dict[int, Set[int]]
+
+
+class WaveProgram(QueuedProgram):
+    """Token broadcast from every part leader (Algorithm 1 lines 1-20)."""
+
+    name = "pa_wave"
+
+    def __init__(
+        self,
+        net: Network,
+        partition: Partition,
+        division: SubPartDivision,
+        shortcut: Shortcut,
+        annotations: BlockAnnotations,
+        leader_tokens: Dict[int, object],
+        delays: Optional[Dict[int, int]] = None,
+        capacity: int = 1,
+    ) -> None:
+        super().__init__(capacity=capacity)
+        self.net = net
+        self.partition = partition
+        self.division = division
+        self.shortcut = shortcut
+        self.ann = annotations
+        self.leader_tokens = leader_tokens
+        self.delays = delays or {}
+        self._started: Set[int] = set()
+
+        self.forest = division.forest
+        self.part_of = partition.part_of
+        self.rep_of = division.rep_of
+        self.down = shortcut.down_parts()
+
+        n = net.n
+        self.has_token = bytearray(n)
+        self.sent_su = bytearray(n)
+        self.sent_bd = bytearray(n)
+        self.sent_ru = bytearray(n)
+        self.injected = bytearray(n)
+        self.kup_done: Set[Tuple[int, int]] = set()
+        self.kdown_done: Set[Tuple[int, int]] = set()
+
+        self.record = WaveRecord(
+            out_edges={}, in_edges={}, parent={},
+            reached={pid: set() for pid in range(partition.num_parts)},
+        )
+        # In-part neighbors that are not sub-part tree neighbors, per node:
+        # the candidate boundary edges of line 15.
+        self._boundary: List[Tuple[int, ...]] = []
+        for v in range(n):
+            tree_nbrs = set(self.forest.children[v])
+            if self.forest.parent[v] >= 0:
+                tree_nbrs.add(self.forest.parent[v])
+            self._boundary.append(
+                tuple(
+                    nb
+                    for nb in net.neighbors[v]
+                    if self.part_of[nb] == self.part_of[v] and nb not in tree_nbrs
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Recording helpers
+    # ------------------------------------------------------------------
+    def _record_out(self, src: int, pid: int, dst: int, tag: str) -> None:
+        self.record.out_edges.setdefault((src, pid), []).append((dst, tag))
+
+    def _record_in(self, dst: int, pid: int, src: int, tag: str) -> None:
+        self.record.in_edges.setdefault((dst, pid), []).append((src, tag))
+        if (dst, pid) not in self.record.parent:
+            self.record.parent[(dst, pid)] = src
+
+    def on_dequeue(self, src: int, dst: int, payload: object) -> None:
+        tag, pid = payload[0], payload[1]
+        self._record_out(src, pid, dst, tag)
+
+    def _send(self, ctx: Context, src: int, dst: int, tag: str, pid: int,
+              token: object, priority: Tuple = (0, 0)) -> None:
+        self.enqueue(ctx, src, dst, priority, (tag, pid, token))
+
+    # ------------------------------------------------------------------
+    # Protocol actions
+    # ------------------------------------------------------------------
+    def _gain_token(self, ctx: Context, v: int, pid: int, token: object) -> None:
+        """First token receipt at part member ``v``."""
+        self.has_token[v] = 1
+        self.record.reached[pid].add(v)
+
+    def _rep_actions(self, ctx: Context, v: int, pid: int, token: object,
+                     via_block: bool) -> None:
+        """A representative holding the token activates its sub-part."""
+        if not self.sent_su[v]:
+            self.sent_su[v] = 1
+            for child in self.forest.children[v]:
+                self._send(ctx, v, child, "su", pid, token)
+        if not self.sent_bd[v]:
+            self.sent_bd[v] = 1
+            for nb in self._boundary[v]:
+                self._send(ctx, v, nb, "bd", pid, token)
+        if not self.injected[v]:
+            self.injected[v] = 1
+            if not via_block:
+                self._inject_block(ctx, v, pid, token)
+
+    def _inject_block(self, ctx: Context, v: int, pid: int, token: object) -> None:
+        """Send the token into v's shortcut block (Observation 4.3: reps only)."""
+        if pid in self.shortcut.up_parts[v] and (v, pid) not in self.kup_done:
+            self.kup_done.add((v, pid))
+            parent = self.shortcut.tree.parent[v]
+            prio = (self.ann.priority_depth(v, pid), pid)
+            self._send(ctx, v, parent, "ku", pid, token, priority=prio)
+        else:
+            self._block_down(ctx, v, pid, token)
+
+    def _block_down(self, ctx: Context, v: int, pid: int, token: object) -> None:
+        """Flood the token down all of v's H_pid child edges."""
+        if (v, pid) in self.kdown_done:
+            return
+        self.kdown_done.add((v, pid))
+        prio = (self.ann.priority_depth(v, pid), pid)
+        for child, parts in self.down[v].items():
+            if pid in parts:
+                self._send(ctx, v, child, "kd", pid, token, priority=prio)
+
+    def _member_receive(self, ctx: Context, v: int, pid: int, token: object,
+                        via: str) -> None:
+        """Token delivery logic for a part member."""
+        if self.has_token[v]:
+            return
+        self._gain_token(ctx, v, pid, token)
+        if self.rep_of[v] == v:
+            self._rep_actions(ctx, v, pid, token, via_block=via in ("ku", "kd"))
+        elif via == "su":
+            pass  # fall through: forwarding handled by caller
+        elif via in ("bd", "ku", "kd"):
+            # Route the token up to the representative (lines 16-18).
+            if not self.sent_ru[v]:
+                self.sent_ru[v] = 1
+                self._send(ctx, v, self.forest.parent[v], "ru", pid, token)
+
+    # ------------------------------------------------------------------
+    # Engine hooks
+    # ------------------------------------------------------------------
+    def on_start(self, ctx: Context) -> None:
+        for pid in range(self.partition.num_parts):
+            leader = self.division.part_leader[pid]
+            ctx.wake(leader)
+
+    def _leader_start(self, ctx: Context, leader: int) -> None:
+        pid = self.part_of[leader]
+        delay = self.delays.get(pid, 0)
+        if ctx.tick < delay:
+            ctx.wake(leader)
+            return
+        self._started.add(pid)
+        token = self.leader_tokens[pid]
+        self.record.parent[(leader, pid)] = None
+        self._gain_token(ctx, leader, pid, token)
+        if self.rep_of[leader] == leader:
+            self._rep_actions(ctx, leader, pid, token, via_block=False)
+        else:
+            self.sent_ru[leader] = 1
+            self._send(ctx, leader, self.forest.parent[leader], "ru", pid, token)
+
+    def handle(self, ctx: Context, node: int, inbox: Inbox) -> None:
+        for sender, payload in inbox:
+            tag, pid, token = payload
+            self._record_in(node, pid, sender, tag)
+            if tag == "ru":
+                if self.has_token[node]:
+                    continue
+                self._gain_token(ctx, node, pid, token)
+                if self.rep_of[node] == node:
+                    self._rep_actions(ctx, node, pid, token, via_block=False)
+                elif not self.sent_ru[node]:
+                    self.sent_ru[node] = 1
+                    self._send(
+                        ctx, node, self.forest.parent[node], "ru", pid, token
+                    )
+            elif tag == "su":
+                if not self.has_token[node]:
+                    self._gain_token(ctx, node, pid, token)
+                if not self.sent_su[node]:
+                    self.sent_su[node] = 1
+                    for child in self.forest.children[node]:
+                        self._send(ctx, node, child, "su", pid, token)
+                if not self.sent_bd[node]:
+                    self.sent_bd[node] = 1
+                    for nb in self._boundary[node]:
+                        self._send(ctx, node, nb, "bd", pid, token)
+            elif tag == "bd":
+                self._member_receive(ctx, node, pid, token, via="bd")
+            elif tag == "ku":
+                if (node, pid) not in self.kup_done:
+                    self.kup_done.add((node, pid))
+                    if self.part_of[node] == pid:
+                        self._member_receive(ctx, node, pid, token, via="ku")
+                    if pid in self.shortcut.up_parts[node]:
+                        parent = self.shortcut.tree.parent[node]
+                        prio = (self.ann.priority_depth(node, pid), pid)
+                        self._send(ctx, node, parent, "ku", pid, token,
+                                   priority=prio)
+                    else:
+                        # node is the block root: turn around and flood down.
+                        self._block_down(ctx, node, pid, token)
+            elif tag == "kd":
+                if self.part_of[node] == pid:
+                    self._member_receive(ctx, node, pid, token, via="kd")
+                self._block_down(ctx, node, pid, token)
+
+    def on_node(self, ctx: Context, node: int, inbox: Inbox) -> None:
+        pid = self.part_of[node]
+        if node == self.division.part_leader[pid] and pid not in self._started:
+            self._leader_start(ctx, node)
+        super().on_node(ctx, node, inbox)
+
+
+class ReverseProgram(QueuedProgram):
+    """Aggregation by exact time-reversal of a recorded wave."""
+
+    name = "pa_reverse"
+
+    def __init__(
+        self,
+        net: Network,
+        partition: Partition,
+        record: WaveRecord,
+        agg: Aggregation,
+        values: Sequence[object],
+        capacity: int = 1,
+    ) -> None:
+        super().__init__(capacity=capacity)
+        self.net = net
+        self.partition = partition
+        self.record = record
+        self.agg = agg
+        self.values = values
+        self.expected: Dict[Tuple[int, int], int] = {}
+        self.acc: Dict[Tuple[int, int], object] = {}
+        self.results: Dict[int, object] = {}
+
+    def _fire(self, ctx: Context, v: int, pid: int) -> None:
+        parent = self.record.parent.get((v, pid))
+        if parent is None:
+            self.results[pid] = self.acc.get((v, pid))
+        else:
+            self.enqueue(
+                ctx, v, parent, (0,), ("a", pid, self.acc.get((v, pid)))
+            )
+
+    def on_start(self, ctx: Context) -> None:
+        part_of = self.partition.part_of
+        keys = set(self.record.out_edges) | set(self.record.in_edges) | set(
+            self.record.parent
+        )
+        for key in keys:
+            v, pid = key
+            self.expected[key] = len(self.record.out_edges.get(key, ()))
+            if part_of[v] == pid and v in self.record.reached[pid]:
+                self.acc[key] = self.values[v]
+            else:
+                self.acc[key] = None
+        # Answer every non-parent in-edge immediately with None.
+        for key in keys:
+            v, pid = key
+            parent = self.record.parent.get(key)
+            answered_parent = False
+            for src, _tag in self.record.in_edges.get(key, ()):
+                if src == parent and not answered_parent:
+                    answered_parent = True  # reserved for the value answer
+                    continue
+                self.enqueue(ctx, v, src, (0,), ("a", pid, None))
+        for key in keys:
+            if self.expected[key] == 0:
+                v, pid = key
+                self._fire(ctx, v, pid)
+
+    def handle(self, ctx: Context, node: int, inbox: Inbox) -> None:
+        for _sender, payload in inbox:
+            _tag, pid, value = payload
+            key = (node, pid)
+            self.acc[key] = self.agg.merge(self.acc.get(key), value)
+            self.expected[key] -= 1
+            if self.expected[key] == 0:
+                self._fire(ctx, node, pid)
+
+
+class ReplayProgram(QueuedProgram):
+    """Broadcast each part's aggregate along the recorded wave edges."""
+
+    name = "pa_replay"
+
+    def __init__(
+        self,
+        net: Network,
+        partition: Partition,
+        division: SubPartDivision,
+        record: WaveRecord,
+        results: Dict[int, object],
+        capacity: int = 1,
+    ) -> None:
+        super().__init__(capacity=capacity)
+        self.net = net
+        self.partition = partition
+        self.division = division
+        self.record = record
+        self.results = results
+        self.delivered: Dict[int, object] = {}
+        self._done: Set[Tuple[int, int]] = set()
+
+    def _forward(self, ctx: Context, v: int, pid: int, value: object) -> None:
+        key = (v, pid)
+        if key in self._done:
+            return
+        self._done.add(key)
+        if self.partition.part_of[v] == pid:
+            self.delivered[v] = value
+        for dst, _tag in self.record.out_edges.get(key, ()):
+            self.enqueue(ctx, v, dst, (0,), ("r", pid, value))
+
+    def on_start(self, ctx: Context) -> None:
+        for pid, value in self.results.items():
+            leader = self.division.part_leader[pid]
+            self._forward(ctx, leader, pid, value)
+
+    def handle(self, ctx: Context, node: int, inbox: Inbox) -> None:
+        for _sender, payload in inbox:
+            _tag, pid, value = payload
+            self._forward(ctx, node, pid, value)
+
+
+@dataclass
+class PAWaveResult:
+    """Outcome of one full PA solve over a given shortcut and division."""
+
+    aggregates: Dict[int, object]
+    value_at_node: List[object]
+    record: WaveRecord
+    wave_rounds: int
+    wave_messages: int
+
+
+def run_pa_waves(
+    engine: Engine,
+    net: Network,
+    partition: Partition,
+    division: SubPartDivision,
+    shortcut: Shortcut,
+    annotations: BlockAnnotations,
+    values: Sequence[object],
+    agg: Aggregation,
+    ledger: CostLedger,
+    randomized: bool = False,
+    rng: Optional[random.Random] = None,
+    max_ticks: Optional[int] = None,
+    phase_prefix: str = "pa",
+) -> PAWaveResult:
+    """Run broadcast + reversal + replay; returns per-part aggregates.
+
+    ``randomized`` switches on the Section 4.2 mode: random per-part delays
+    uniform in [0, c) and per-edge capacity ceil(2 log2 n), each engine tick
+    charged that many CONGEST rounds.
+    """
+    n = net.n
+    b, c = shortcut.quality()
+    depth = shortcut.tree.height()
+
+    capacity = 1
+    rounds_per_tick = 1
+    delays: Dict[int, int] = {}
+    if randomized:
+        rng = rng or random.Random(0)
+        log_n = max(1, (max(2, n) - 1).bit_length())
+        # Meta-rounds carry Theta(log n) messages per edge (Section 4.2),
+        # but per-edge load never exceeds the shortcut congestion c, so a
+        # smaller capacity suffices when c is small — same guarantees,
+        # fewer charged rounds.
+        capacity = max(1, min(2 * log_n, c))
+        rounds_per_tick = capacity
+        # Delays are drawn over [0, c) CONGEST rounds; one engine tick in
+        # this mode represents ``capacity`` rounds, so scale accordingly.
+        tick_span = max(1, c // capacity + 1)
+        delays = {
+            pid: rng.randrange(tick_span)
+            for pid in range(partition.num_parts)
+        }
+
+    if max_ticks is None:
+        max_ticks = 64 + 8 * (b * (depth + 1) + c + depth + n // max(1, depth))
+
+    leader_tokens = {
+        pid: net.uid[division.part_leader[pid]]
+        for pid in range(partition.num_parts)
+    }
+    wave = WaveProgram(
+        net, partition, division, shortcut, annotations, leader_tokens,
+        delays=delays, capacity=capacity,
+    )
+    wave.name = f"{phase_prefix}_wave"
+    stats = engine.run(
+        wave, max_ticks=max_ticks, capacity=capacity,
+        rounds_per_tick=rounds_per_tick,
+    )
+    ledger.charge(stats)
+    wave_rounds, wave_messages = stats.rounds, stats.messages
+
+    for pid in range(partition.num_parts):
+        missing = set(partition.members[pid]) - wave.record.reached[pid]
+        if missing:
+            raise RuntimeError(
+                f"wave failed to cover part {pid}: missing {sorted(missing)[:5]}"
+            )
+
+    reverse = ReverseProgram(
+        net, partition, wave.record, agg, values, capacity=capacity
+    )
+    reverse.name = f"{phase_prefix}_reverse"
+    stats = engine.run(
+        reverse, max_ticks=4 * max_ticks, capacity=capacity,
+        rounds_per_tick=rounds_per_tick,
+    )
+    ledger.charge(stats)
+
+    replay = ReplayProgram(
+        net, partition, division, wave.record, reverse.results,
+        capacity=capacity,
+    )
+    replay.name = f"{phase_prefix}_replay"
+    stats = engine.run(
+        replay, max_ticks=4 * max_ticks, capacity=capacity,
+        rounds_per_tick=rounds_per_tick,
+    )
+    ledger.charge(stats)
+
+    value_at_node: List[object] = [None] * n
+    for v in range(n):
+        value_at_node[v] = replay.delivered.get(v)
+
+    return PAWaveResult(
+        aggregates=dict(reverse.results),
+        value_at_node=value_at_node,
+        record=wave.record,
+        wave_rounds=wave_rounds,
+        wave_messages=wave_messages,
+    )

@@ -1,0 +1,257 @@
+"""Workload graph generators.
+
+Every generator returns a :class:`~repro.congest.network.Network` over nodes
+``0..n-1``.  The families mirror the paper's evaluation surface:
+
+* :func:`grid_with_apex` — the Figure 2a counterexample: a D x W grid plus
+  an apex node adjacent to the whole top row.  Prior shortcut PA uses
+  Theta(nD) messages here; the paper's sub-part PA uses O~(n).
+* :func:`grid_2d` — planar workhorse (Table 1 "Planar" row).
+* :func:`torus_2d` — genus-1 family (Table 1 "Genus g" row).
+* :func:`k_tree` — treewidth-k family (Table 1 "Treewidth t" row).
+* :func:`ladder` / :func:`caterpillar` — pathwidth-bounded families
+  (Table 1 "Pathwidth p" row).
+* :func:`random_connected` / :func:`random_regular_ish` — "General" row.
+* paths, cycles, stars, complete graphs and random trees as building blocks
+  and adversarial cases.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..congest.network import Edge, Network, canonical_edge
+
+
+def _finish(
+    edges: List[Edge],
+    n: int,
+    uid_seed: int,
+    weights: Optional[Dict[Edge, int]] = None,
+) -> Network:
+    return Network(edges, n=n, weights=weights, uid_seed=uid_seed)
+
+
+def path_graph(n: int, uid_seed: int = 0x5EED) -> Network:
+    """A path on ``n`` nodes: 0 - 1 - ... - n-1."""
+    if n < 1:
+        raise ValueError("path needs at least one node")
+    return _finish([(i, i + 1) for i in range(n - 1)], n, uid_seed)
+
+
+def cycle_graph(n: int, uid_seed: int = 0x5EED) -> Network:
+    """A cycle on ``n >= 3`` nodes."""
+    if n < 3:
+        raise ValueError("cycle needs at least three nodes")
+    edges = [(i, i + 1) for i in range(n - 1)]
+    edges.append((0, n - 1))
+    return _finish(edges, n, uid_seed)
+
+
+def star_graph(n: int, uid_seed: int = 0x5EED) -> Network:
+    """A star: node 0 is the hub, 1..n-1 are leaves."""
+    if n < 2:
+        raise ValueError("star needs at least two nodes")
+    return _finish([(0, i) for i in range(1, n)], n, uid_seed)
+
+
+def complete_graph(n: int, uid_seed: int = 0x5EED) -> Network:
+    """The complete graph K_n."""
+    if n < 2:
+        raise ValueError("complete graph needs at least two nodes")
+    edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    return _finish(edges, n, uid_seed)
+
+
+def grid_2d(rows: int, cols: int, uid_seed: int = 0x5EED) -> Network:
+    """A rows x cols planar grid.  Node (r, c) has index r * cols + c."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    edges: List[Edge] = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+    return _finish(edges, rows * cols, uid_seed)
+
+
+def grid_node(r: int, c: int, cols: int) -> int:
+    """Index of grid node (r, c) in a ``cols``-wide grid."""
+    return r * cols + c
+
+
+def grid_with_apex(rows: int, cols: int, uid_seed: int = 0x5EED) -> Network:
+    """The Figure 2a graph: a rows x cols grid plus an apex node ``r``.
+
+    The apex is node ``rows * cols`` and neighbors every node of row 0
+    (the "top row").  With each row as its own part and the columns as
+    shortcut edges, block-aggregation PA needs Omega(n * rows) messages
+    while the paper's sub-part PA needs O~(n).
+    """
+    base = grid_2d(rows, cols, uid_seed)
+    apex = rows * cols
+    edges = list(base.edges)
+    edges.extend((grid_node(0, c, cols), apex) for c in range(cols))
+    return _finish(edges, apex + 1, uid_seed)
+
+
+def torus_2d(rows: int, cols: int, uid_seed: int = 0x5EED) -> Network:
+    """A rows x cols torus (genus-1, 4-regular)."""
+    if rows < 3 or cols < 3:
+        raise ValueError("torus needs both dimensions >= 3")
+    edges = set()
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            right = r * cols + (c + 1) % cols
+            down = ((r + 1) % rows) * cols + c
+            edges.add(canonical_edge(v, right))
+            edges.add(canonical_edge(v, down))
+    return _finish(sorted(edges), rows * cols, uid_seed)
+
+
+def ladder(length: int, uid_seed: int = 0x5EED) -> Network:
+    """A 2 x length ladder (pathwidth 2)."""
+    return grid_2d(2, length, uid_seed)
+
+
+def caterpillar(spine: int, legs_per_node: int, uid_seed: int = 0x5EED) -> Network:
+    """A caterpillar tree: a spine path with ``legs_per_node`` pendant legs.
+
+    Caterpillars have pathwidth 1; they exercise the "Pathwidth p" row of
+    Table 1 at its extreme.
+    """
+    if spine < 1:
+        raise ValueError("caterpillar needs a spine")
+    edges: List[Edge] = [(i, i + 1) for i in range(spine - 1)]
+    nxt = spine
+    for s in range(spine):
+        for _ in range(legs_per_node):
+            edges.append((s, nxt))
+            nxt += 1
+    return _finish(edges, nxt, uid_seed)
+
+
+def k_tree(n: int, k: int, seed: int = 7, uid_seed: int = 0x5EED) -> Network:
+    """A random k-tree on ``n`` nodes (treewidth exactly k for n > k).
+
+    Construction: start from a (k+1)-clique; each new node is joined to a
+    uniformly random existing k-clique.
+    """
+    if n < k + 1:
+        raise ValueError("k-tree needs at least k+1 nodes")
+    rng = random.Random(seed)
+    edges = set()
+    cliques: List[Tuple[int, ...]] = []
+    base = tuple(range(k + 1))
+    for i in range(k + 1):
+        for j in range(i + 1, k + 1):
+            edges.add((i, j))
+    # All k-subsets of the base clique are attachable k-cliques.
+    for drop in range(k + 1):
+        cliques.append(tuple(x for x in base if x != drop))
+    for v in range(k + 1, n):
+        clique = rng.choice(cliques)
+        for u in clique:
+            edges.add(canonical_edge(u, v))
+        for drop in range(k):
+            new_clique = tuple(x for x in clique if x != clique[drop]) + (v,)
+            cliques.append(tuple(sorted(new_clique)))
+    return _finish(sorted(edges), n, uid_seed)
+
+
+def random_tree(n: int, seed: int = 7, uid_seed: int = 0x5EED) -> Network:
+    """A uniformly random labeled tree (via a random Pruefer-like attachment)."""
+    if n < 1:
+        raise ValueError("tree needs at least one node")
+    rng = random.Random(seed)
+    edges = [(rng.randrange(v), v) for v in range(1, n)]
+    return _finish(edges, n, uid_seed)
+
+
+def balanced_binary_tree(depth: int, uid_seed: int = 0x5EED) -> Network:
+    """A complete binary tree of the given depth (root = node 0)."""
+    n = 2 ** (depth + 1) - 1
+    edges = [((v - 1) // 2, v) for v in range(1, n)]
+    return _finish(edges, n, uid_seed)
+
+
+def random_connected(
+    n: int, extra_edge_prob: float, seed: int = 7, uid_seed: int = 0x5EED
+) -> Network:
+    """A connected Erdos-Renyi-style graph ("General" Table 1 row).
+
+    A random spanning tree guarantees connectivity; every other pair is an
+    edge independently with probability ``extra_edge_prob``.
+    """
+    if not 0.0 <= extra_edge_prob <= 1.0:
+        raise ValueError("probability must be in [0, 1]")
+    rng = random.Random(seed)
+    edges = set()
+    order = list(range(n))
+    rng.shuffle(order)
+    for i in range(1, n):
+        u = order[rng.randrange(i)]
+        v = order[i]
+        edges.add(canonical_edge(u, v))
+    if extra_edge_prob > 0:
+        for u in range(n):
+            for v in range(u + 1, n):
+                if (u, v) not in edges and rng.random() < extra_edge_prob:
+                    edges.add((u, v))
+    return _finish(sorted(edges), n, uid_seed)
+
+
+def random_regular_ish(
+    n: int, degree: int, seed: int = 7, uid_seed: int = 0x5EED
+) -> Network:
+    """A connected graph with (near-)uniform degree ~ ``degree``.
+
+    Built as a Hamiltonian cycle plus random chords; good expander-like
+    "general graph" workload with diameter O(log n).
+    """
+    if degree < 2:
+        raise ValueError("degree must be at least 2")
+    if n < degree + 1:
+        raise ValueError("need n > degree")
+    rng = random.Random(seed)
+    edges = set()
+    for i in range(n):
+        edges.add(canonical_edge(i, (i + 1) % n))
+    target = n * degree // 2
+    attempts = 0
+    while len(edges) < target and attempts < 50 * target:
+        attempts += 1
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v:
+            edges.add(canonical_edge(u, v))
+    return _finish(sorted(edges), n, uid_seed)
+
+
+def barbell(clique_size: int, path_length: int, uid_seed: int = 0x5EED) -> Network:
+    """Two cliques joined by a path: a classic high-diameter stress case."""
+    if clique_size < 2:
+        raise ValueError("cliques need at least two nodes")
+    edges: List[Edge] = []
+    # First clique: 0..clique_size-1
+    for i in range(clique_size):
+        for j in range(i + 1, clique_size):
+            edges.append((i, j))
+    # Path: clique_size .. clique_size + path_length - 1
+    prev = clique_size - 1
+    for p in range(path_length):
+        v = clique_size + p
+        edges.append((prev, v))
+        prev = v
+    # Second clique
+    base = clique_size + path_length
+    for i in range(clique_size):
+        for j in range(i + 1, clique_size):
+            edges.append((base + i, base + j))
+    edges.append((prev, base))
+    return _finish(edges, base + clique_size, uid_seed)

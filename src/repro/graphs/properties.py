@@ -1,0 +1,137 @@
+"""Structural graph properties used by tests and benchmark reporting.
+
+These run on the orchestrator side (they are oracles, not distributed
+algorithms) and are deliberately simple rather than fast.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..congest.network import Network
+
+
+def connected_components(net: Network, edge_subset=None) -> List[int]:
+    """Component label per node; labels are the minimum node index inside.
+
+    ``edge_subset`` (iterable of edges) restricts the graph to a subgraph H
+    over the same node set — the setting of the verification problems.
+    """
+    if edge_subset is None:
+        adjacency = net.neighbors
+    else:
+        adj: List[List[int]] = [[] for _ in range(net.n)]
+        for u, v in edge_subset:
+            adj[u].append(v)
+            adj[v].append(u)
+        adjacency = adj
+    label = [-1] * net.n
+    for start in range(net.n):
+        if label[start] != -1:
+            continue
+        stack = [start]
+        label[start] = start
+        while stack:
+            u = stack.pop()
+            for v in adjacency[u]:
+                if label[v] == -1:
+                    label[v] = start
+                    stack.append(v)
+    return label
+
+
+def is_spanning_tree(net: Network, edges: Sequence[Tuple[int, int]]) -> bool:
+    """True iff ``edges`` forms a spanning tree of the network."""
+    if len(edges) != net.n - 1:
+        return False
+    labels = connected_components(net, edges)
+    return len(set(labels)) == 1
+
+
+def is_bipartite_subgraph(net: Network, edges: Sequence[Tuple[int, int]]) -> bool:
+    """True iff the subgraph H = (V, edges) is bipartite."""
+    adj: List[List[int]] = [[] for _ in range(net.n)]
+    for u, v in edges:
+        adj[u].append(v)
+        adj[v].append(u)
+    color = [-1] * net.n
+    for start in range(net.n):
+        if color[start] != -1:
+            continue
+        color[start] = 0
+        stack = [start]
+        while stack:
+            u = stack.pop()
+            for v in adj[u]:
+                if color[v] == -1:
+                    color[v] = color[u] ^ 1
+                    stack.append(v)
+                elif color[v] == color[u]:
+                    return False
+    return True
+
+
+def is_dominating_set(net: Network, dominators: Set[int]) -> bool:
+    """True iff every node is in ``dominators`` or adjacent to one."""
+    for v in range(net.n):
+        if v in dominators:
+            continue
+        if not any(u in dominators for u in net.neighbors[v]):
+            return False
+    return True
+
+
+def is_k_dominating_set(net: Network, centers: Set[int], k: int) -> bool:
+    """True iff every node is within hop distance k of some center."""
+    if not centers:
+        return net.n == 0
+    dist = [-1] * net.n
+    frontier = []
+    for c in centers:
+        dist[c] = 0
+        frontier.append(c)
+    depth = 0
+    while frontier and depth < k:
+        depth += 1
+        nxt = []
+        for u in frontier:
+            for v in net.neighbors[u]:
+                if dist[v] == -1:
+                    dist[v] = depth
+                    nxt.append(v)
+        frontier = nxt
+    return all(d != -1 for d in dist)
+
+
+def induces_connected_subgraph(net: Network, nodes: Set[int]) -> bool:
+    """True iff ``nodes`` induces a connected subgraph of ``net``."""
+    if not nodes:
+        return False
+    start = next(iter(nodes))
+    seen = {start}
+    stack = [start]
+    while stack:
+        u = stack.pop()
+        for v in net.neighbors[u]:
+            if v in nodes and v not in seen:
+                seen.add(v)
+                stack.append(v)
+    return len(seen) == len(nodes)
+
+
+def subgraph_degrees(net: Network, edges: Sequence[Tuple[int, int]]) -> List[int]:
+    """Degree of each node in the subgraph formed by ``edges``."""
+    deg = [0] * net.n
+    for u, v in edges:
+        deg[u] += 1
+        deg[v] += 1
+    return deg
+
+
+def cut_weight(net: Network, side: Set[int]) -> int:
+    """Total weight of edges crossing (side, V - side)."""
+    total = 0
+    for u, v in net.edges:
+        if (u in side) != (v in side):
+            total += net.weight(u, v)
+    return total

@@ -1,0 +1,88 @@
+"""Min-cut building blocks: intervals, LCA routing, cut convergecast."""
+
+from repro.congest import CostLedger, Engine
+from repro.core import ABSENT, ROOT, RootedForest
+from repro.algorithms.mincut import (
+    _CutConvergecast,
+    _IntervalProgram,
+    _LcaRouteProgram,
+    _one_respecting_min_cut,
+)
+from repro.analysis import stoer_wagner_min_cut, kruskal_mst
+from repro.graphs import (
+    cut_weight,
+    grid_2d,
+    path_graph,
+    with_distinct_weights,
+    with_planted_cut,
+)
+
+
+def test_interval_labels_are_preorder(grid4x6):
+    from repro.core import bfs_tree
+
+    engine = Engine(grid4x6)
+    tree = bfs_tree(engine, grid4x6, 0, CostLedger()).tree
+    program = _IntervalProgram(tree)
+    engine.run(program, max_ticks=4 * tree.height() + 8)
+    # Root spans everything; children partition the parent interval.
+    assert program.interval[0] == (0, grid4x6.n - 1)
+    for v in range(grid4x6.n):
+        lo, hi = program.interval[v]
+        assert hi - lo + 1 == program.size[v]
+        for c in tree.children[v]:
+            clo, chi = program.interval[c]
+            assert lo < clo and chi <= hi
+
+
+def test_lca_routing_accumulates_at_ancestor():
+    net = grid_2d(2, 4)  # nodes 0..3 top row, 4..7 bottom
+    from repro.core import bfs_tree
+
+    engine = Engine(net)
+    tree = bfs_tree(engine, net, 0, CostLedger()).tree
+    intervals = _IntervalProgram(tree)
+    engine.run(intervals, max_ticks=30)
+    # Route a single non-tree edge and check its weight lands on a common
+    # ancestor of both endpoints.
+    non_tree = None
+    tree_edges = {(v, tree.parent[v]) for v in range(net.n) if tree.parent[v] >= 0}
+    canon = {tuple(sorted(e)) for e in tree_edges}
+    for e in net.edges:
+        if e not in canon:
+            non_tree = e
+            break
+    x, y = non_tree
+    router = _LcaRouteProgram(
+        tree, intervals.interval, [(x, intervals.interval[y][0], 7)]
+    )
+    engine.run(router, max_ticks=40)
+    holders = [v for v in range(net.n) if router.lca_weight[v] == 7]
+    assert len(holders) == 1
+    lca = holders[0]
+    lo, hi = intervals.interval[lca]
+    assert lo <= intervals.interval[x][0] <= hi
+    assert lo <= intervals.interval[y][0] <= hi
+
+
+def test_one_respecting_cut_matches_bruteforce_on_path():
+    net = with_distinct_weights(path_graph(12), seed=31)
+    tree_edges = set(net.edges)  # a path IS its own spanning tree
+    engine = Engine(net)
+    value, node = _one_respecting_min_cut(net, tree_edges, engine, CostLedger())
+    # On a tree, the min cut is simply the lightest edge.
+    assert value == min(net.weights.values())
+
+
+def test_one_respecting_cut_value_is_real_cut(weighted_random):
+    tree_edges = kruskal_mst(weighted_random)
+    engine = Engine(weighted_random)
+    value, node = _one_respecting_min_cut(
+        weighted_random, tree_edges, engine, CostLedger()
+    )
+    from repro.algorithms.sssp import _root_tree_at
+
+    tree = _root_tree_at(weighted_random, tree_edges, 0)
+    side = set(tree.subtree_nodes(node))
+    assert cut_weight(weighted_random, side) == value
+    assert value >= stoer_wagner_min_cut(weighted_random)

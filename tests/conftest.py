@@ -1,0 +1,59 @@
+"""Shared fixtures: small networks and partitions used across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest import CostLedger, Engine, Network
+from repro.graphs import (
+    grid_2d,
+    grid_with_apex,
+    path_graph,
+    random_connected,
+    random_connected_partition,
+    row_partition,
+    with_distinct_weights,
+)
+
+
+@pytest.fixture
+def path10() -> Network:
+    return path_graph(10)
+
+
+@pytest.fixture
+def grid4x6() -> Network:
+    return grid_2d(4, 6)
+
+
+@pytest.fixture
+def apex_grid():
+    """(network, partition) for the Figure 2a workload at small scale."""
+    rows, cols = 4, 8
+    net = grid_with_apex(rows, cols)
+    part = row_partition(rows, cols, include_apex=True)
+    return net, part
+
+
+@pytest.fixture
+def small_random() -> Network:
+    return random_connected(40, 0.08, seed=11)
+
+
+@pytest.fixture
+def small_random_parts(small_random):
+    return random_connected_partition(small_random, 5, seed=12)
+
+
+@pytest.fixture
+def weighted_random() -> Network:
+    return with_distinct_weights(random_connected(36, 0.09, seed=21), seed=22)
+
+
+@pytest.fixture
+def ledger() -> CostLedger:
+    return CostLedger()
+
+
+def make_engine(net: Network) -> Engine:
+    return Engine(net)

@@ -1,0 +1,55 @@
+"""Cost ledger accounting."""
+
+from repro.congest import CostLedger, PhaseStats, merge_max_rounds
+
+
+def test_charge_accumulates():
+    ledger = CostLedger()
+    ledger.charge(PhaseStats("a", rounds=3, messages=10))
+    ledger.charge(PhaseStats("b", rounds=2, messages=5))
+    assert ledger.rounds == 5
+    assert ledger.messages == 15
+    assert len(ledger.phases()) == 2
+
+
+def test_charge_local():
+    ledger = CostLedger()
+    ledger.charge_local("exchange", rounds=1, messages=42)
+    assert ledger.rounds == 1
+    assert ledger.messages == 42
+
+
+def test_merge_with_prefix():
+    inner = CostLedger()
+    inner.charge(PhaseStats("wave", rounds=7, messages=70))
+    outer = CostLedger()
+    outer.merge(inner, prefix="setup:")
+    assert outer.rounds == 7
+    assert outer.phases()[0].name == "setup:wave"
+
+
+def test_by_name_aggregates_repeated_phases():
+    ledger = CostLedger()
+    ledger.charge(PhaseStats("wave", rounds=3, messages=10))
+    ledger.charge(PhaseStats("wave", rounds=4, messages=20))
+    grouped = ledger.by_name()
+    assert grouped["wave"].rounds == 7
+    assert grouped["wave"].messages == 30
+
+
+def test_summary_mentions_totals():
+    ledger = CostLedger()
+    ledger.charge(PhaseStats("x", rounds=1, messages=2))
+    text = ledger.summary()
+    assert "rounds=1" in text
+    assert "x" in text
+
+
+def test_merge_max_rounds_parallel_composition():
+    a = CostLedger()
+    a.charge(PhaseStats("p", rounds=5, messages=10))
+    b = CostLedger()
+    b.charge(PhaseStats("p", rounds=3, messages=20))
+    stats = merge_max_rounds([a, b], "parallel")
+    assert stats.rounds == 5
+    assert stats.messages == 30

@@ -1,0 +1,50 @@
+"""Payload bit accounting and the O(log n) budget."""
+
+import pytest
+
+from repro.congest import int_bits, message_bit_limit, payload_bits
+
+
+def test_int_bits_basics():
+    assert int_bits(0) == 1
+    assert int_bits(1) == 1
+    assert int_bits(7) == 3
+    assert int_bits(8) == 4
+    assert int_bits(-8) == 5  # sign bit
+
+
+def test_payload_bits_none_and_bool():
+    assert payload_bits(None) == 1
+    assert payload_bits(True) == 1
+    assert payload_bits(False) == 1
+
+
+def test_payload_bits_tuples_are_summed():
+    flat = payload_bits((3, 5))
+    assert flat > payload_bits(3)
+    nested = payload_bits(((3,), (5,)))
+    assert nested > flat  # nesting overhead charged
+
+
+def test_payload_bits_strings_are_flat_tags():
+    # Tags come from a fixed alphabet, so they cost constant bits.
+    assert payload_bits("ku") == payload_bits("block_up_long_tag")
+
+
+def test_payload_bits_rejects_unserializable():
+    with pytest.raises(TypeError):
+        payload_bits({"a": 1})
+    with pytest.raises(TypeError):
+        payload_bits([1, 2])
+
+
+def test_message_bit_limit_grows_with_n():
+    assert message_bit_limit(2) < message_bit_limit(1 << 20)
+    # A constant number of ids always fits.
+    n = 1000
+    limit = message_bit_limit(n)
+    assert payload_bits(("tag", n - 1, n - 1, n - 1)) <= limit
+
+
+def test_message_bit_limit_small_n():
+    assert message_bit_limit(1) >= 8

@@ -1,0 +1,86 @@
+"""Network construction, validation, uids, weights and oracles."""
+
+import pytest
+
+from repro.congest import Network, canonical_edge, network_from_networkx
+from repro.graphs import grid_2d, path_graph
+
+
+def test_basic_construction():
+    net = Network([(0, 1), (1, 2)])
+    assert net.n == 3
+    assert net.m == 2
+    assert net.neighbors[1] == (0, 2)
+    assert net.degree(1) == 2
+    assert net.has_edge(2, 1)
+    assert not net.has_edge(0, 2)
+
+
+def test_rejects_self_loops_and_duplicates():
+    with pytest.raises(ValueError):
+        Network([(0, 0)])
+    with pytest.raises(ValueError):
+        Network([(0, 1), (1, 0)])
+
+
+def test_rejects_out_of_range_endpoint():
+    with pytest.raises(ValueError):
+        Network([(0, 5)], n=3)
+
+
+def test_uids_are_unique_and_not_indices():
+    net = path_graph(50)
+    assert len(set(net.uid)) == net.n
+    assert set(net.uid) == set(range(net.n, 2 * net.n))
+    for v in range(net.n):
+        assert net.node_of_uid(net.uid[v]) == v
+
+
+def test_weights_validation():
+    with pytest.raises(ValueError):
+        Network([(0, 1)], weights={(0, 1): 0})
+    with pytest.raises(ValueError):
+        Network([(0, 1), (1, 2)], weights={(0, 1): 5})  # missing edge weight
+    net = Network([(0, 1)], weights={(1, 0): 7})  # canonicalized
+    assert net.weight(0, 1) == 7
+    assert net.total_weight() == 7
+
+
+def test_unweighted_weight_defaults_to_one():
+    net = path_graph(3)
+    assert net.weight(0, 1) == 1
+    assert net.total_weight() == net.m
+
+
+def test_connectivity_and_bfs():
+    net = grid_2d(3, 3)
+    assert net.is_connected()
+    depths = net.bfs_depths(0)
+    assert depths[8] == 4
+    disconnected = Network([(0, 1), (2, 3)])
+    assert not disconnected.is_connected()
+
+
+def test_diameter_estimate_is_2_approx():
+    net = grid_2d(4, 7)
+    exact = net.exact_diameter()
+    estimate = net.diameter_estimate()
+    assert exact <= estimate <= 2 * exact
+
+
+def test_network_from_networkx_roundtrip():
+    import networkx as nx
+
+    g = nx.Graph()
+    g.add_nodes_from(range(4))
+    g.add_edge(0, 1, weight=3)
+    g.add_edge(1, 2, weight=4)
+    g.add_edge(2, 3, weight=5)
+    net = network_from_networkx(g)
+    assert net.n == 4
+    assert net.weight(1, 2) == 4
+
+
+def test_canonical_edge():
+    assert canonical_edge(5, 2) == (2, 5)
+    assert canonical_edge(2, 5) == (2, 5)

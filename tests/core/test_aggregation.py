@@ -1,0 +1,70 @@
+"""Aggregation functions, including property-based checks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    AND,
+    MAX,
+    MIN,
+    MIN_TUPLE,
+    OR,
+    SUM,
+    XOR,
+    Aggregation,
+    validate_aggregation,
+)
+
+
+def test_fold_skips_none():
+    assert SUM.fold([1, None, 2, None, 3]) == 6
+    assert MIN.fold([None, None]) is None
+
+
+def test_merge_handles_none():
+    assert MIN.merge(None, 5) == 5
+    assert MIN.merge(5, None) == 5
+    assert MIN.merge(3, 5) == 3
+
+
+def test_min_tuple_is_lexicographic():
+    a = (3, 100, 1)
+    b = (3, 5, 900)
+    assert MIN_TUPLE.combine(a, b) == b
+
+
+def test_validate_aggregation_accepts_stock():
+    for agg in (MIN, MAX, SUM, OR, AND, XOR):
+        validate_aggregation(agg, [0, 1, 5, 7])
+
+
+def test_validate_aggregation_rejects_noncommutative():
+    bad = Aggregation("sub", lambda a, b: a - b)
+    with pytest.raises(ValueError):
+        validate_aggregation(bad, [1, 2, 3])
+
+
+def test_validate_aggregation_rejects_nonassociative():
+    bad = Aggregation("avg", lambda a, b: (a + b) // 2)
+    with pytest.raises(ValueError):
+        validate_aggregation(bad, [0, 1, 2, 5])
+
+
+@given(st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1))
+def test_fold_sum_matches_builtin(values):
+    assert SUM.fold(values) == sum(values)
+
+
+@given(st.lists(st.integers(), min_size=1))
+def test_fold_min_matches_builtin(values):
+    assert MIN.fold(values) == min(values)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=255), min_size=1),
+    st.randoms(),
+)
+def test_xor_fold_order_independent(values, rng):
+    shuffled = list(values)
+    rng.shuffle(shuffled)
+    assert XOR.fold(values) == XOR.fold(shuffled)

@@ -1,0 +1,64 @@
+"""Distributed block annotation vs. the structural oracle."""
+
+from repro.congest import CostLedger, Engine
+from repro.core import (
+    ROOT,
+    RootedForest,
+    Shortcut,
+    annotate_blocks,
+    bfs_tree,
+)
+from repro.graphs import Partition, grid_2d, path_graph
+
+
+def test_annotation_matches_oracle_blocks(path10, ledger):
+    tree = RootedForest(path10, [ROOT] + list(range(9)))
+    part = Partition([0] * 5 + [1] * 5)
+    up = [set() for _ in range(10)]
+    up[3] = {0}
+    up[4] = {0}
+    up[7] = {1}
+    sc = Shortcut(tree, part, up)
+    engine = Engine(path10)
+    ann = annotate_blocks(engine, sc, ledger)
+    # Part 0's block spans nodes 2,3,4 rooted at 2 (depth 2).
+    assert ann.root_depth[(3, 0)] == 2
+    assert ann.root_depth[(4, 0)] == 2
+    assert ann.block_id[(4, 0)] == path10.uid[2]
+    # Counting token lands at the deepest chain node (a part member).
+    counts = ann.block_counts(2)
+    assert counts == [1, 1]
+
+
+def test_annotation_counts_disjoint_blocks(path10, ledger):
+    tree = RootedForest(path10, [ROOT] + list(range(9)))
+    part = Partition([0] * 10)
+    up = [set() for _ in range(10)]
+    up[2] = {0}
+    up[6] = {0}
+    up[7] = {0}
+    sc = Shortcut(tree, part, up)
+    ann = annotate_blocks(Engine(path10), sc, ledger)
+    assert ann.block_counts(1) == [2]
+
+
+def test_annotation_cost_bounds(grid4x6, ledger):
+    engine = Engine(grid4x6)
+    tree = bfs_tree(engine, grid4x6, 0, CostLedger()).tree
+    part = Partition([v % 2 for v in range(grid4x6.n)])
+    # Hand the parts alternating claims up the tree (legal: prefixes).
+    up = [set() for _ in range(grid4x6.n)]
+    for v in range(grid4x6.n):
+        if tree.parent[v] >= 0:
+            up[v] = {v % 2}
+    # Not a valid "connected parts" partition for PA, but annotation only
+    # cares about the H_i structure, which is well-formed here.
+    sc = Shortcut.__new__(Shortcut)
+    sc.tree = tree
+    sc.partition = part
+    sc.up_parts = tuple(frozenset(s) for s in up)
+    ann = annotate_blocks(engine, sc, ledger)
+    stats = ledger.phases()[-1]
+    # One message per H_i edge plus counting tokens.
+    total_edges = sum(len(s) for s in up)
+    assert stats.messages <= 2 * total_edges + grid4x6.n

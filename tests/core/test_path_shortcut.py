@@ -1,0 +1,88 @@
+"""Algorithm 7: doubling construction on heavy paths (Figure 5 mechanics)."""
+
+from repro.congest import CostLedger, Engine
+from repro.core import bfs_tree
+from repro.core.heavy_path import build_heavy_path_decomposition
+from repro.core.path_shortcut import doubling_schedule, run_path_doubling_wave
+from repro.graphs import path_graph
+
+
+def setup_path(n):
+    net = path_graph(n)
+    engine = Engine(net)
+    # Root at node 0: the single heavy path runs n-1 .. 0 bottom-up.
+    tree = bfs_tree(engine, net, 0, CostLedger()).tree
+    hpd = build_heavy_path_decomposition(engine, tree, CostLedger())
+    return net, engine, tree, hpd
+
+
+def test_doubling_schedule_covers_log_iterations():
+    sched = doubling_schedule(16, threshold=2)
+    assert len(sched) == 4
+    starts = [s for s, _span in sched]
+    assert starts == sorted(starts)
+
+
+def test_claims_climb_and_record():
+    net, engine, tree, hpd = setup_path(16)
+    ledger = CostLedger()
+    tops = [v for v in range(net.n) if hpd.path_top[v]]
+    store = {15: {0}}  # part 0 claims from the bottom node
+    claims = run_path_doubling_wave(
+        engine, tree, hpd, tops, store, threshold=4, ledger=ledger,
+        wave_name="t",
+    )
+    claimed_nodes = {v for v, pids in claims.items() if 0 in pids}
+    # The claim is a contiguous prefix of the upward path from node 15.
+    assert claimed_nodes, "claim must move"
+    assert claimed_nodes == set(range(min(claimed_nodes), 16))
+
+
+def test_breaking_at_threshold():
+    net, engine, tree, hpd = setup_path(32)
+    ledger = CostLedger()
+    tops = [v for v in range(net.n) if hpd.path_top[v]]
+    threshold = 2  # break limit = 4 distinct parts
+    # Six parts all claim from the bottom node: the set is oversized at the
+    # first sender, so the edge above it breaks and nothing climbs.
+    store = {31: {0, 1, 2, 3, 4, 5}}
+    claims = run_path_doubling_wave(
+        engine, tree, hpd, tops, store, threshold=threshold, ledger=ledger,
+        wave_name="t",
+    )
+    assert not claims  # broken before any id crossed
+
+
+def test_merging_claims_from_multiple_entry_points():
+    net, engine, tree, hpd = setup_path(16)
+    ledger = CostLedger()
+    tops = [v for v in range(net.n) if hpd.path_top[v]]
+    store = {15: {0}, 11: {0}, 7: {1}}
+    claims = run_path_doubling_wave(
+        engine, tree, hpd, tops, store, threshold=4, ledger=ledger,
+        wave_name="t",
+    )
+    zero_nodes = {v for v, pids in claims.items() if 0 in pids}
+    one_nodes = {v for v, pids in claims.items() if 1 in pids}
+    # Both parts' claims form contiguous upward runs.
+    assert zero_nodes and one_nodes
+    assert zero_nodes == set(range(min(zero_nodes), 16))
+
+
+def test_round_bound_matches_lemma66():
+    """Lemma 6.6: O(c log D + D) rounds for the doubling wave."""
+    n = 64
+    net, engine, tree, hpd = setup_path(n)
+    ledger = CostLedger()
+    tops = [v for v in range(net.n) if hpd.path_top[v]]
+    threshold = 3
+    store = {v: {v % 3} for v in range(40, 64)}
+    run_path_doubling_wave(
+        engine, tree, hpd, tops, store, threshold=threshold, ledger=ledger,
+        wave_name="t",
+    )
+    import math
+
+    rounds = sum(p.rounds for p in ledger.phases())
+    bound = 8 * (2 * threshold + 1) * math.ceil(math.log2(n)) + 8 * n
+    assert rounds <= bound

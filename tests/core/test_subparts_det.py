@@ -1,0 +1,86 @@
+"""Deterministic sub-part divisions (Algorithm 6)."""
+
+from repro.congest import CostLedger, Engine
+from repro.core.subparts_det import build_subpart_division_deterministic
+from repro.graphs import (
+    Partition,
+    grid_2d,
+    path_graph,
+    random_connected,
+    random_connected_partition,
+)
+
+
+def build(net, partition, diameter):
+    engine = Engine(net)
+    ledger = CostLedger()
+    leaders = [min(m, key=lambda v: net.uid[v]) for m in partition.members]
+    division = build_subpart_division_deterministic(
+        engine, net, partition, leaders, diameter, ledger
+    )
+    return division, ledger
+
+
+def test_deterministic_division_valid():
+    net = grid_2d(4, 15)
+    part = Partition([0] * net.n)
+    division, _ = build(net, part, 8)
+    division.validate()
+
+
+def test_complete_subparts_reach_threshold():
+    net = grid_2d(3, 30)
+    part = Partition([0] * net.n)
+    threshold = 9
+    division, _ = build(net, part, threshold)
+    by_root = division.forest.restrict_roots()
+    for root, members in by_root.items():
+        # Every sub-part is complete: >= threshold nodes, or spans its part.
+        assert len(members) >= threshold or len(members) == net.n
+
+
+def test_subpart_count_bound_deterministic():
+    net = grid_2d(3, 30)
+    part = Partition([0] * net.n)
+    threshold = 9
+    division, _ = build(net, part, threshold)
+    # Completes have >= threshold nodes, so at most n/threshold + 1 of them.
+    assert division.num_subparts() <= net.n // threshold + 1
+
+
+def test_small_parts_span_themselves():
+    net = path_graph(30)
+    part = Partition([v // 5 for v in range(30)])  # parts of 5 nodes
+    division, _ = build(net, part, 10)
+    for pid in range(part.num_parts):
+        assert len(division.subparts_of_part(pid)) == 1
+
+
+def test_deterministic_division_is_reproducible():
+    net = random_connected(40, 0.07, seed=8)
+    part = random_connected_partition(net, 3, seed=9)
+    d1, _ = build(net, part, 6)
+    d2, _ = build(net, part, 6)
+    assert d1.forest.parent == d2.forest.parent
+    assert d1.rep_of == d2.rep_of
+
+
+def test_subparts_respect_part_boundaries():
+    net = random_connected(50, 0.06, seed=10)
+    part = random_connected_partition(net, 4, seed=11)
+    division, _ = build(net, part, 5)
+    for v in range(net.n):
+        assert part.part_of[division.rep_of[v]] == part.part_of[v]
+
+
+def test_tree_depth_bounded():
+    net = grid_2d(4, 25)
+    part = Partition([0] * net.n)
+    threshold = 8
+    division, _ = build(net, part, threshold)
+    # Star joinings keep merged trees O~(threshold) deep.
+    import math
+
+    assert division.forest.height() <= 4 * threshold * math.ceil(
+        math.log2(net.n)
+    )

@@ -1,0 +1,110 @@
+"""Broadcast, convergecast and claiming BFS programs."""
+
+from repro.congest import CostLedger, Engine
+from repro.core import MIN, ROOT, RootedForest, SUM, broadcast, claim_bfs, convergecast
+from repro.core.treeops import FloodMinProgram
+from repro.graphs import grid_2d, path_graph, star_graph
+
+
+def line_forest(net):
+    return RootedForest(net, [ROOT] + list(range(net.n - 1)))
+
+
+def test_broadcast_reaches_everyone(path10, ledger):
+    engine = Engine(path10)
+    forest = line_forest(path10)
+    received = broadcast(engine, forest, {0: "hello"}, ledger)
+    assert all(received[v] == "hello" for v in range(10))
+    stats = ledger.phases()[0]
+    assert stats.rounds == forest.height()
+    assert stats.messages == 9
+
+
+def test_broadcast_multiple_trees(path10, ledger):
+    engine = Engine(path10)
+    parent = [ROOT, 0, 1, ROOT, 3, 4, ROOT, 6, 7, 8]
+    forest = RootedForest(path10, parent)
+    received = broadcast(engine, forest, {0: "a", 3: "b", 6: "c"}, ledger)
+    assert received[2] == "a" and received[5] == "b" and received[9] == "c"
+
+
+def test_convergecast_sum(path10, ledger):
+    engine = Engine(path10)
+    forest = line_forest(path10)
+    at_root, partial = convergecast(engine, forest, SUM, [1] * 10, ledger)
+    assert at_root[0] == 10
+    assert partial[5] == 5  # subtree 5..9
+    stats = ledger.phases()[0]
+    assert stats.messages == 9
+
+
+def test_convergecast_skips_none(path10, ledger):
+    engine = Engine(path10)
+    forest = line_forest(path10)
+    values = [None] * 10
+    values[7] = 42
+    at_root, _ = convergecast(engine, forest, MIN, values, ledger)
+    assert at_root[0] == 42
+
+
+def test_convergecast_star(ledger):
+    net = star_graph(8)
+    engine = Engine(net)
+    forest = RootedForest(net, [ROOT] + [0] * 7)
+    at_root, _ = convergecast(engine, forest, SUM, list(range(8)), ledger)
+    assert at_root[0] == sum(range(8))
+    assert ledger.phases()[0].rounds <= 2
+
+
+def test_claim_bfs_builds_spanning_tree(grid4x6, ledger):
+    engine = Engine(grid4x6)
+    program = claim_bfs(engine, grid4x6, {0: grid4x6.uid[0]}, ledger)
+    forest = program.forest()
+    assert forest.size() == grid4x6.n
+    assert forest.height() == grid4x6.bfs_depths(0)[23] or forest.height() >= 1
+    # BFS depths are exact hop distances.
+    depths = grid4x6.bfs_depths(0)
+    for v in range(grid4x6.n):
+        assert program.depth_of[v] == depths[v]
+
+
+def test_claim_bfs_competition_prefers_smaller_token(path10, ledger):
+    engine = Engine(path10)
+    program = claim_bfs(
+        engine, path10, {0: 5, 9: 1}, ledger
+    )
+    # Token 1 (from node 9) wins ties at equal distance; the middle nodes
+    # split by arrival time.
+    assert program.token_of[9] == 1
+    assert program.token_of[0] == 5
+    assert program.token_of[4] == 5  # distance 4 from node 0, 5 from node 9
+    assert program.token_of[5] == 1
+
+
+def test_claim_bfs_max_depth(path10, ledger):
+    engine = Engine(path10)
+    program = claim_bfs(
+        engine, path10, {0: 0}, ledger, max_depth=3
+    )
+    assert program.token_of[3] == 0
+    assert program.token_of[4] is None
+
+
+def test_claim_bfs_restricted(path10, ledger):
+    engine = Engine(path10)
+    program = claim_bfs(
+        engine, path10, {0: 0}, ledger,
+        allowed=lambda u, v: v != 5,
+    )
+    assert program.token_of[4] == 0
+    assert program.token_of[5] is None
+
+
+def test_flood_min_agrees_on_minimum(grid4x6):
+    engine = Engine(grid4x6)
+    flood = FloodMinProgram(
+        grid4x6, {v: grid4x6.uid[v] for v in range(grid4x6.n)}
+    )
+    engine.run(flood, max_ticks=grid4x6.n + 2)
+    target = min(grid4x6.uid)
+    assert all(flood.best[v] == target for v in range(grid4x6.n))

@@ -1,0 +1,78 @@
+"""RootedForest invariants and helpers."""
+
+import pytest
+
+from repro.core import ABSENT, ROOT, RootedForest, forest_from_parent_map, spanning_forest_of_subsets
+from repro.graphs import grid_2d, path_graph
+
+
+def test_single_tree_structure(path10):
+    parent = [ROOT] + list(range(9))
+    forest = RootedForest(path10, parent)
+    assert forest.roots == (0,)
+    assert forest.depth[9] == 9
+    assert forest.height() == 9
+    assert forest.children[3] == (4,)
+    assert forest.root_of(7) == 0
+    assert forest.path_to_root(2) == [2, 1, 0]
+
+
+def test_forest_with_absent_nodes(path10):
+    parent = [ROOT, 0, 1, ABSENT, ABSENT, 5 + ROOT * 0 - 6, 5, 6, ABSENT, ABSENT]
+    parent[5] = ROOT
+    forest = RootedForest(path10, parent)
+    assert forest.roots == (0, 5)
+    assert not forest.member(3)
+    assert forest.size() == 6
+
+
+def test_rejects_non_edge_parent(path10):
+    parent = [ROOT] * 10
+    parent[5] = 2  # (5, 2) is not a path edge
+    with pytest.raises(ValueError):
+        RootedForest(path10, parent)
+
+
+def test_rejects_cycles():
+    net = grid_2d(2, 2)  # 0-1, 0-2, 1-3, 2-3
+    parent = [1, 3, ROOT, 2]
+    parent[0] = 1
+    parent[1] = 3
+    parent[3] = 2
+    parent[2] = 0  # cycle 0->1->3->2->0
+    with pytest.raises(ValueError):
+        RootedForest(net, parent)
+
+
+def test_subtree_helpers(path10):
+    forest = RootedForest(path10, [ROOT] + list(range(9)))
+    sizes = forest.subtree_sizes()
+    assert sizes[0] == 10
+    assert sizes[9] == 1
+    assert forest.subtree_nodes(7) == [7, 8, 9]
+    assert forest.tree_edges() == [(i, i - 1) for i in range(1, 10)]
+
+
+def test_restrict_roots(path10):
+    parent = [ROOT, 0, 1, 2, 3, ROOT, 5, 6, 7, 8]
+    forest = RootedForest(path10, parent)
+    groups = forest.restrict_roots()
+    assert sorted(groups[0]) == [0, 1, 2, 3, 4]
+    assert sorted(groups[5]) == [5, 6, 7, 8, 9]
+
+
+def test_forest_from_parent_map(path10):
+    forest = forest_from_parent_map(path10, {1: 0, 2: 1}, roots=[0])
+    assert forest.member(1)
+    assert not forest.member(5)
+    with pytest.raises(ValueError):
+        forest_from_parent_map(path10, {0: 1}, roots=[0])
+
+
+def test_spanning_forest_of_subsets(grid4x6):
+    groups = [range(0, 12), range(12, 24)]
+    forest = spanning_forest_of_subsets(grid4x6, groups)
+    assert len(forest.roots) == 2
+    assert forest.size() == 24
+    with pytest.raises(ValueError):
+        spanning_forest_of_subsets(grid4x6, [[0, 23]])  # not connected

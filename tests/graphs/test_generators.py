@@ -1,0 +1,135 @@
+"""Generator structure checks for every workload family."""
+
+import pytest
+
+from repro.graphs import (
+    balanced_binary_tree,
+    barbell,
+    caterpillar,
+    complete_graph,
+    cycle_graph,
+    grid_2d,
+    grid_node,
+    grid_with_apex,
+    k_tree,
+    ladder,
+    path_graph,
+    random_connected,
+    random_regular_ish,
+    random_tree,
+    star_graph,
+    torus_2d,
+)
+
+
+def test_path_structure():
+    net = path_graph(6)
+    assert net.n == 6 and net.m == 5
+    assert net.exact_diameter() == 5
+
+
+def test_cycle_structure():
+    net = cycle_graph(8)
+    assert net.m == 8
+    assert all(net.degree(v) == 2 for v in range(8))
+
+
+def test_star_structure():
+    net = star_graph(7)
+    assert net.degree(0) == 6
+    assert net.exact_diameter() == 2
+
+
+def test_complete_graph():
+    net = complete_graph(6)
+    assert net.m == 15
+    assert net.exact_diameter() == 1
+
+
+def test_grid_structure():
+    rows, cols = 3, 5
+    net = grid_2d(rows, cols)
+    assert net.n == 15
+    assert net.m == rows * (cols - 1) + cols * (rows - 1)
+    assert net.has_edge(grid_node(1, 2, cols), grid_node(1, 3, cols))
+    assert net.has_edge(grid_node(1, 2, cols), grid_node(2, 2, cols))
+
+
+def test_grid_with_apex_structure():
+    rows, cols = 4, 6
+    net = grid_with_apex(rows, cols)
+    apex = rows * cols
+    assert net.n == apex + 1
+    assert net.degree(apex) == cols
+    for c in range(cols):
+        assert net.has_edge(apex, grid_node(0, c, cols))
+    # The apex pins the diameter near rows + 1 regardless of cols.
+    assert net.exact_diameter() <= rows + 2
+
+
+def test_torus_is_4_regular():
+    net = torus_2d(4, 5)
+    assert all(net.degree(v) == 4 for v in range(net.n))
+    assert net.is_connected()
+
+
+def test_ladder_and_caterpillar():
+    lad = ladder(10)
+    assert lad.n == 20
+    cat = caterpillar(6, 3)
+    assert cat.n == 6 + 18
+    assert cat.m == cat.n - 1  # a tree
+    assert cat.is_connected()
+
+
+def test_k_tree_properties():
+    net = k_tree(30, 3, seed=5)
+    assert net.n == 30
+    assert net.is_connected()
+    # k-trees on > k+1 nodes have at least k*n - k(k+1)/2 edges.
+    assert net.m >= 3 * 30 - 6
+
+
+def test_random_tree_is_tree():
+    net = random_tree(40, seed=9)
+    assert net.m == 39
+    assert net.is_connected()
+
+
+def test_balanced_binary_tree():
+    net = balanced_binary_tree(4)
+    assert net.n == 31
+    assert net.exact_diameter() == 8
+
+
+def test_random_connected_is_connected():
+    for seed in (1, 2, 3):
+        net = random_connected(50, 0.03, seed=seed)
+        assert net.is_connected()
+        assert net.m >= 49
+
+
+def test_random_regular_ish_degree():
+    net = random_regular_ish(40, 4, seed=3)
+    assert net.is_connected()
+    avg = 2 * net.m / net.n
+    assert 3.0 <= avg <= 5.0
+
+
+def test_barbell_high_diameter():
+    net = barbell(5, 20)
+    assert net.is_connected()
+    assert net.exact_diameter() >= 20
+
+
+def test_generator_argument_validation():
+    with pytest.raises(ValueError):
+        path_graph(0)
+    with pytest.raises(ValueError):
+        cycle_graph(2)
+    with pytest.raises(ValueError):
+        torus_2d(2, 5)
+    with pytest.raises(ValueError):
+        k_tree(3, 3)
+    with pytest.raises(ValueError):
+        random_connected(5, 1.5)
