@@ -37,4 +37,5 @@ def test_delay_ablation(benchmark):
     # Both must be correct and within a small factor of each other here;
     # the structural point is that both terminate with the same aggregates
     # while charging their respective round disciplines.
-    record(benchmark, det=out[DETERMINISTIC][0], rand=out[RANDOMIZED][0])
+    record(benchmark, det=out[DETERMINISTIC][0], rand=out[RANDOMIZED][0],
+           rounds=out[RANDOMIZED][0], messages=out[RANDOMIZED][1])

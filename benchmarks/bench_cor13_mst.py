@@ -46,4 +46,5 @@ def test_mst_tradeoff(benchmark):
     assert ghs.messages < ours.messages
     assert ghs.rounds > 2 * net.exact_diameter()
     record(benchmark, ours_rounds=ours.rounds, ghs_rounds=ghs.rounds,
-           ours_msgs=ours.messages, ghs_msgs=ghs.messages)
+           ours_msgs=ours.messages, ghs_msgs=ghs.messages,
+           rounds=ours.rounds, messages=ours.messages)

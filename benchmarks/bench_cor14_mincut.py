@@ -47,4 +47,5 @@ def test_mincut_eps_sweep(benchmark):
     # Cost grows as eps shrinks (the poly(1/eps) shape).
     assert ratios[0.35][1] >= ratios[1.0][1]
     assert ratios[0.35][3] >= ratios[1.0][3]
-    record(benchmark, ratios={str(k): v[0] for k, v in ratios.items()})
+    record(benchmark, ratios={str(k): v[0] for k, v in ratios.items()},
+           rounds=ratios[0.35][2], messages=ratios[0.35][3])

@@ -52,4 +52,5 @@ def test_sssp_beta_sweep(benchmark):
     assert curve[0.05][0] <= curve[0.5][0] + 1e-9  # stretch improves
     assert curve[0.05][1] > curve[0.5][1]          # rounds grow ~1/beta
     assert all(v >= 1.0 - 1e-9 for v, _r, _m in curve.values())
-    record(benchmark, stretches={str(k): v[0] for k, v in curve.items()})
+    record(benchmark, stretches={str(k): v[0] for k, v in curve.items()},
+           rounds=curve[0.05][1], messages=curve[0.05][2])

@@ -21,7 +21,7 @@ def test_kdominating_sweep(benchmark):
             centers = set(run.output)
             assert is_k_dominating_set(net, centers, k)
             bound = max(1, 6 * net.n // k) + 1
-            sizes[k] = (len(centers), bound, run.rounds)
+            sizes[k] = (len(centers), bound, run.rounds, run.messages)
             rows.append((k, len(centers), bound, run.rounds, run.messages))
         print_table(
             "Corollary A.3: k-dominating set size vs 6n/k",
@@ -31,8 +31,9 @@ def test_kdominating_sweep(benchmark):
         return sizes
 
     sizes = run_once(benchmark, experiment)
-    for k, (size, bound, _rounds) in sizes.items():
+    for k, (size, bound, _rounds, _messages) in sizes.items():
         assert size <= bound, k
     # Size falls as k grows (the O(n/k) shape).
     assert sizes[32][0] < sizes[4][0]
-    record(benchmark, sizes={str(k): v[0] for k, v in sizes.items()})
+    record(benchmark, sizes={str(k): v[0] for k, v in sizes.items()},
+           rounds=sizes[32][2], messages=sizes[32][3])

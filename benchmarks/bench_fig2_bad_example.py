@@ -35,7 +35,8 @@ def test_fig2_message_blowup(benchmark):
         series = {}
         for rows in DEPTHS:
             net, naive, ours, wave_msgs = _one_depth(rows)
-            series[rows] = (naive.messages, wave_msgs, ours.messages)
+            series[rows] = (naive.messages, wave_msgs, ours.messages,
+                            ours.rounds)
             rows_out.append(
                 (
                     rows,
@@ -63,4 +64,5 @@ def test_fig2_message_blowup(benchmark):
     gap_small = small[0] / max(1, small[1])
     gap_large = large[0] / max(1, large[1])
     assert gap_large > gap_small
-    record(benchmark, naive_gap_small=gap_small, naive_gap_large=gap_large)
+    record(benchmark, naive_gap_small=gap_small, naive_gap_large=gap_large,
+           rounds=large[3], messages=large[2])

@@ -59,6 +59,7 @@ def test_figure34_division_structure(benchmark):
         division = build_subpart_division_randomized(
             engine, net, part, leaders, diameter, ledger, random.Random(36)
         )
+        cost = (ledger.rounds, ledger.messages)
         out = []
         for pid in range(part.num_parts):
             count = len(division.subparts_of_part(pid))
@@ -71,10 +72,11 @@ def test_figure34_division_structure(benchmark):
             ["part", "size", "sub-parts", "O~(|P|/D) bound"],
             out,
         )
-        return division, out
+        return division, out, cost
 
-    division, out = run_once(benchmark, experiment)
+    division, out, cost = run_once(benchmark, experiment)
     assert division.max_subpart_depth() <= 2 * diameter
     for _pid, _size, count, bound in out:
         assert count <= bound
-    record(benchmark, max_depth=division.max_subpart_depth())
+    record(benchmark, max_depth=division.max_subpart_depth(),
+           rounds=cost[0], messages=cost[1])

@@ -41,7 +41,8 @@ def test_table2_round_complexity(benchmark):
             det = _solve(net, part, DETERMINISTIC)
             rand = _solve(net, part, RANDOMIZED)
             d = net.diameter_estimate()
-            data[family] = (det.rounds, rand.rounds, d, net.n)
+            data[family] = (det.rounds, rand.rounds, d, net.n,
+                            det.messages)
             rows.append(
                 (
                     family, net.n, d,
@@ -60,9 +61,10 @@ def test_table2_round_complexity(benchmark):
     data = run_once(benchmark, experiment)
     import math
 
-    for family, (det_rounds, rand_rounds, d, n) in data.items():
+    for family, (det_rounds, rand_rounds, d, n, _msgs) in data.items():
         envelope = (d + math.sqrt(n)) * math.log2(n) ** 2
         assert det_rounds <= 40 * envelope, family
         assert rand_rounds <= 40 * envelope, family
         record(benchmark, **{f"{family}_det": det_rounds,
                              f"{family}_rand": rand_rounds})
+    record(benchmark, rounds=data["general"][0], messages=data["general"][4])

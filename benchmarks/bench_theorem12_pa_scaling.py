@@ -4,9 +4,15 @@ Paper claim: O~(D + sqrt n) rounds and O~(m) messages.  We sweep n on a
 bounded-degree general family and report rounds / (D + sqrt n) and
 messages / m: both ratios should stay within polylog factors (flat-ish),
 rather than growing polynomially.
+
+The sweep runs with ``strict_bits=False``: payload sizes are pinned by the
+test suite (``tests/congest/test_engine_edge.py`` proves strict-off runs
+charge identical rounds/messages), so the per-message bit audit is pure
+simulator overhead here.  The ledger numbers are identical either way.
 """
 
 import math
+import time
 
 from repro.bench import print_table, record, run_once
 from repro.core import SUM, PASolver
@@ -19,22 +25,27 @@ def test_theorem12_scaling(benchmark):
     def experiment():
         rows = []
         ratios = []
+        walls = {}
+        headline = {}
         for n in SIZES:
+            start = time.perf_counter()
             net = random_regular_ish(n, 4, seed=11)
             part = random_connected_partition(net, max(2, n // 10), seed=12)
-            solver = PASolver(net, seed=13)
+            solver = PASolver(net, seed=13, strict_bits=False)
             setup = solver.prepare(part)
             result = solver.solve(setup, [1] * n, SUM, charge_setup=False)
+            walls[n] = time.perf_counter() - start
             d = net.diameter_estimate()
             round_ratio = result.rounds / (d + math.sqrt(n))
             # Total messages include the one-time setup (construction is
             # part of Theorem 1.2's budget).
-            total = result.rounds, result.messages + setup.setup_ledger.messages
-            msg_ratio = total[1] / net.m
+            total_msgs = result.messages + setup.setup_ledger.messages
+            msg_ratio = total_msgs / net.m
             ratios.append((round_ratio, msg_ratio))
+            headline[n] = (result.rounds, total_msgs)
             rows.append(
                 (n, net.m, d, result.rounds, f"{round_ratio:.1f}",
-                 total[1], f"{msg_ratio:.1f}")
+                 total_msgs, f"{msg_ratio:.1f}")
             )
         print_table(
             "Theorem 1.2: PA scaling on general graphs",
@@ -42,9 +53,9 @@ def test_theorem12_scaling(benchmark):
              "total msgs", "msgs/m"],
             rows,
         )
-        return ratios
+        return ratios, walls, headline
 
-    ratios = run_once(benchmark, experiment)
+    ratios, walls, headline = run_once(benchmark, experiment)
     # Polylog envelope: the normalized ratios must not grow like a
     # polynomial in n (factor-of-4 n growth allows only polylog ratio drift).
     first_round, first_msg = ratios[0]
@@ -52,5 +63,12 @@ def test_theorem12_scaling(benchmark):
     growth = math.log2(SIZES[-1]) ** 2 / math.log2(SIZES[0]) ** 2
     assert last_round <= max(first_round, 1.0) * 8 * growth
     assert last_msg <= max(first_msg, 1.0) * 8 * growth
-    record(benchmark, round_ratios=[r for r, _ in ratios],
-           msg_ratios=[m for _, m in ratios])
+    largest = SIZES[-1]
+    record(benchmark,
+           rounds=headline[largest][0],
+           messages=headline[largest][1],
+           round_ratios=[r for r, _ in ratios],
+           msg_ratios=[m for _, m in ratios],
+           wall_seconds_by_n={str(n): walls[n] for n in SIZES},
+           largest_n=largest,
+           largest_n_wall_seconds=walls[largest])

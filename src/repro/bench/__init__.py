@@ -1,5 +1,19 @@
-"""Benchmark harness: tables, metric recording, single-shot timing."""
+"""Benchmark harness and headless runner.
 
-from .harness import fmt_ratio, print_table, record, run_once
+``repro.bench.harness`` provides the table/metric helpers the benchmark
+files use; ``repro.bench.runner`` (also a CLI: ``python -m
+repro.bench.runner``) executes every ``benchmarks/bench_*.py`` without
+pytest, writes a machine-readable ``BENCH_<date>.json`` and regenerates
+``EXPERIMENTS.md`` from the structured ledger-derived tables.
+"""
 
-__all__ = ["fmt_ratio", "print_table", "record", "run_once"]
+from .harness import Table, drain_tables, fmt_ratio, print_table, record, run_once
+
+__all__ = [
+    "Table",
+    "drain_tables",
+    "fmt_ratio",
+    "print_table",
+    "record",
+    "run_once",
+]

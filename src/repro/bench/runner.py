@@ -1,0 +1,352 @@
+"""Headless benchmark runner: every ``benchmarks/bench_*.py`` without pytest.
+
+The benchmark files are written as pytest tests taking a ``benchmark``
+fixture, but nothing they need is pytest-specific: the fixture surface they
+use is ``benchmark.pedantic(fn, rounds, iterations)`` and
+``benchmark.extra_info``.  :class:`HeadlessBenchmark` provides exactly
+that, so the runner can import each bench module and call its ``test_*``
+functions directly — no test session, no capture plugins, no report files.
+
+Outputs:
+
+* ``BENCH_<date>.json`` — machine-readable per-experiment results: wall
+  time, the ledger-derived ``rounds`` / ``messages`` headline metrics, all
+  recorded extra metrics, and the structured experiment tables.  This file
+  is the perf baseline PRs are compared against.
+* ``EXPERIMENTS.md`` — regenerated from the structured tables registered
+  through :func:`repro.bench.harness.print_table` (ledger data, not
+  captured stdout).
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench.runner --out BENCH_pr1.json
+    PYTHONPATH=src python -m repro.bench.runner --only theorem12 --no-experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import inspect
+import io
+import json
+import sys
+import time
+import traceback
+from contextlib import redirect_stdout
+from dataclasses import dataclass, field
+from datetime import date, datetime, timezone
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .harness import Table, drain_tables
+
+
+class HeadlessBenchmark:
+    """Duck-typed stand-in for the pytest-benchmark fixture.
+
+    Supports the two entry points the harness uses (``pedantic`` and the
+    callable protocol) and records wall time of the measured function.
+    """
+
+    def __init__(self) -> None:
+        self.extra_info: Dict[str, object] = {}
+        self.wall_seconds: Optional[float] = None
+
+    def pedantic(
+        self,
+        fn: Callable[..., object],
+        args: Sequence = (),
+        kwargs: Optional[Dict] = None,
+        rounds: int = 1,
+        iterations: int = 1,
+        **_ignored,
+    ) -> object:
+        kwargs = kwargs or {}
+        result = None
+        start = time.perf_counter()
+        for _ in range(max(1, rounds) * max(1, iterations)):
+            result = fn(*args, **kwargs)
+        self.wall_seconds = time.perf_counter() - start
+        return result
+
+    def __call__(self, fn: Callable[..., object], *args, **kwargs) -> object:
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        self.wall_seconds = time.perf_counter() - start
+        return result
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one benchmark function run headlessly."""
+
+    file: str
+    name: str
+    status: str  # "ok" | "error"
+    wall_seconds: Optional[float]
+    rounds: Optional[int]
+    messages: Optional[int]
+    metrics: Dict[str, object]
+    tables: List[Table]
+    error: Optional[str] = None
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "file": self.file,
+            "name": self.name,
+            "status": self.status,
+            "wall_seconds": self.wall_seconds,
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "metrics": self.metrics,
+            "tables": [
+                {"title": t.title, "headers": list(t.headers),
+                 "rows": [list(r) for r in t.rows]}
+                for t in self.tables
+            ],
+            **({"error": self.error} if self.error else {}),
+        }
+
+
+def discover_bench_files(bench_dir: Path) -> List[Path]:
+    """All ``bench_*.py`` files in ``bench_dir``, sorted by name."""
+    return sorted(bench_dir.glob("bench_*.py"))
+
+
+def load_bench_module(path: Path):
+    """Import a benchmark file by path (no package required)."""
+    spec = importlib.util.spec_from_file_location(f"_bench_{path.stem}", path)
+    if spec is None or spec.loader is None:
+        raise ImportError(f"cannot load benchmark module {path}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def bench_functions(module) -> List[Callable]:
+    """The ``test_*`` callables of a bench module, in definition order."""
+    functions = []
+    for name, obj in vars(module).items():
+        if name.startswith("test_") and callable(obj):
+            functions.append(obj)
+    functions.sort(key=lambda fn: fn.__code__.co_firstlineno)
+    return functions
+
+
+def _coerce_count(value: object) -> Optional[int]:
+    """Lift a recorded metric into the headline int slot if it is one."""
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, int):
+        return value
+    return None
+
+
+def run_experiment(path: Path, fn: Callable, quiet: bool = True) -> ExperimentResult:
+    """Run one benchmark function headlessly and collect its results."""
+    benchmark = HeadlessBenchmark()
+    parameters = inspect.signature(fn).parameters
+    if "benchmark" not in parameters:
+        # Report instead of raising so one odd test_ function cannot kill
+        # the whole sweep (mirrors the import-error path).
+        return ExperimentResult(
+            file=path.name, name=fn.__name__, status="error",
+            wall_seconds=None, rounds=None, messages=None, metrics={},
+            tables=[],
+            error=f"{path.name}::{fn.__name__} does not take a "
+                  f"'benchmark' fixture",
+        )
+    drain_tables()  # drop anything a previous failure left behind
+    error = None
+    status = "ok"
+    sink = io.StringIO()
+    try:
+        if quiet:
+            with redirect_stdout(sink):
+                fn(benchmark=benchmark)
+        else:
+            fn(benchmark=benchmark)
+    except Exception:  # noqa: BLE001 - report, don't crash the sweep
+        status = "error"
+        error = traceback.format_exc()
+    tables = drain_tables()
+    metrics = dict(benchmark.extra_info)
+    return ExperimentResult(
+        file=path.name,
+        name=fn.__name__,
+        status=status,
+        wall_seconds=benchmark.wall_seconds,
+        rounds=_coerce_count(metrics.get("rounds")),
+        messages=_coerce_count(metrics.get("messages")),
+        metrics=metrics,
+        tables=tables,
+        error=error,
+    )
+
+
+def run_all(
+    bench_dir: Path,
+    only: Optional[str] = None,
+    quiet: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[ExperimentResult]:
+    """Run every discovered benchmark (optionally filtered by substring)."""
+    results: List[ExperimentResult] = []
+    for path in discover_bench_files(bench_dir):
+        if only and only not in path.name:
+            continue
+        try:
+            module = load_bench_module(path)
+        except Exception:  # noqa: BLE001
+            results.append(
+                ExperimentResult(
+                    file=path.name, name="<import>", status="error",
+                    wall_seconds=None, rounds=None, messages=None,
+                    metrics={}, tables=[], error=traceback.format_exc(),
+                )
+            )
+            continue
+        for fn in bench_functions(module):
+            if progress:
+                progress(f"{path.name}::{fn.__name__}")
+            results.append(run_experiment(path, fn, quiet=quiet))
+    return results
+
+
+# ----------------------------------------------------------------------
+# Report generation
+# ----------------------------------------------------------------------
+def results_to_json(results: Sequence[ExperimentResult]) -> Dict[str, object]:
+    ok = [r for r in results if r.status == "ok"]
+    return {
+        "schema": "repro-bench/1",
+        "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": sys.version.split()[0],
+        "experiments": [r.to_json() for r in results],
+        "totals": {
+            "experiments": len(results),
+            "ok": len(ok),
+            "errors": len(results) - len(ok),
+            "wall_seconds": sum(r.wall_seconds or 0.0 for r in results),
+        },
+    }
+
+
+def render_experiments_md(results: Sequence[ExperimentResult]) -> str:
+    """EXPERIMENTS.md content: every experiment table, from ledger data."""
+    lines = [
+        "# EXPERIMENTS",
+        "",
+        "Regenerated by `python -m repro.bench.runner` from the structured",
+        "experiment tables (which are computed from `CostLedger` data — the",
+        "ledger is the ground truth for every number here, never captured",
+        "stdout and never closed-form formulas).",
+        "",
+        f"Last run: {datetime.now(timezone.utc).isoformat(timespec='seconds')}",
+        "",
+        "| experiment | status | wall (s) | rounds | messages |",
+        "|---|---|---|---|---|",
+    ]
+    for r in results:
+        wall = f"{r.wall_seconds:.3f}" if r.wall_seconds is not None else "-"
+        lines.append(
+            f"| `{r.file}::{r.name}` | {r.status} | {wall} "
+            f"| {r.rounds if r.rounds is not None else '-'} "
+            f"| {r.messages if r.messages is not None else '-'} |"
+        )
+    lines.append("")
+    for r in results:
+        lines.append(f"## {r.file}::{r.name}")
+        lines.append("")
+        if r.status != "ok":
+            lines.append("**FAILED**")
+            lines.append("")
+            lines.append("```")
+            lines.append((r.error or "unknown error").rstrip())
+            lines.append("```")
+            lines.append("")
+            continue
+        for table in r.tables:
+            lines.append(f"### {table.title}")
+            lines.append("")
+            lines.append(table.render_markdown())
+            lines.append("")
+    return "\n".join(lines)
+
+
+def default_bench_dir() -> Path:
+    """``benchmarks/`` under the repo root (next to ``src/``), else cwd."""
+    here = Path(__file__).resolve()
+    for ancestor in here.parents:
+        candidate = ancestor / "benchmarks"
+        if candidate.is_dir():
+            return candidate
+    return Path.cwd() / "benchmarks"
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.runner",
+        description="Run all benchmarks headlessly; write BENCH json and "
+        "regenerate EXPERIMENTS.md.",
+    )
+    parser.add_argument(
+        "--bench-dir", type=Path, default=None,
+        help="directory holding bench_*.py (default: autodetected)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="output JSON path (default: BENCH_<YYYYMMDD>.json in cwd)",
+    )
+    parser.add_argument(
+        "--experiments-md", type=Path, default=Path("EXPERIMENTS.md"),
+        help="path of the regenerated EXPERIMENTS.md",
+    )
+    parser.add_argument(
+        "--no-experiments", action="store_true",
+        help="skip regenerating EXPERIMENTS.md",
+    )
+    parser.add_argument(
+        "--only", default=None,
+        help="run only bench files whose name contains this substring",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="let the benchmarks' table printouts through to stdout",
+    )
+    args = parser.parse_args(argv)
+
+    bench_dir = args.bench_dir or default_bench_dir()
+    if not bench_dir.is_dir():
+        print(f"error: benchmark directory not found: {bench_dir}", file=sys.stderr)
+        return 2
+    out_path = args.out or Path(f"BENCH_{date.today().strftime('%Y%m%d')}.json")
+
+    results = run_all(
+        bench_dir,
+        only=args.only,
+        quiet=not args.verbose,
+        progress=lambda label: print(f"[bench] {label}", flush=True),
+    )
+    if not results:
+        print(
+            f"warning: no benchmarks matched "
+            f"(dir={bench_dir}{', only=' + args.only if args.only else ''})",
+            file=sys.stderr,
+        )
+    report = results_to_json(results)
+    out_path.write_text(json.dumps(report, indent=1, default=str) + "\n")
+    print(f"[bench] wrote {out_path} "
+          f"({report['totals']['ok']}/{report['totals']['experiments']} ok, "
+          f"{report['totals']['wall_seconds']:.2f}s measured)")
+
+    if not args.no_experiments:
+        args.experiments_md.write_text(render_experiments_md(results) + "\n")
+        print(f"[bench] wrote {args.experiments_md}")
+
+    return 0 if report["totals"]["errors"] == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

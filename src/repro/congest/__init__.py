@@ -19,8 +19,19 @@ from .errors import (
     RoundLimitExceededError,
     ShortcutValidationError,
 )
-from .ledger import CostLedger, PhaseStats, RunResult, merge_max_rounds
-from .message import int_bits, message_bit_limit, payload_bits
+from .ledger import (
+    CostLedger,
+    EngineProfile,
+    PhaseStats,
+    RunResult,
+    merge_max_rounds,
+)
+from .message import (
+    int_bits,
+    message_bit_limit,
+    payload_bits,
+    payload_bits_cached,
+)
 from .network import Network, canonical_edge, network_from_networkx
 
 __all__ = [
@@ -30,6 +41,7 @@ __all__ = [
     "Context",
     "CostLedger",
     "Engine",
+    "EngineProfile",
     "FunctionProgram",
     "Inbox",
     "InvalidPartitionError",
@@ -46,4 +58,5 @@ __all__ = [
     "message_bit_limit",
     "network_from_networkx",
     "payload_bits",
+    "payload_bits_cached",
 ]

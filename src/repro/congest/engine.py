@@ -16,12 +16,27 @@ charges kappa rounds, which is exactly the paper's accounting.
 
 The orchestrator (ordinary Python code between phases) may sequence phases
 and precompute static structure, but all *communication* happens here.
+
+Performance notes (the engine is the hot loop under every number in
+EXPERIMENTS.md):
+
+* per-node mailboxes are allocated once per phase and reused across ticks
+  instead of rebuilding a ``defaultdict`` of lists every tick;
+* the common ``capacity == 1`` check reuses one integer set across ticks
+  (edge keys are packed as ``src * n + dst``), so steady-state delivery
+  allocates nothing beyond the inbox tuples handed to programs;
+* inboxes are sorted by sender only when they arrive out of order (sends
+  are usually emitted in activation order, which is already sorted);
+* payload bit budgets are checked through the memoized
+  :func:`~repro.congest.message.payload_bits_cached`;
+* ``wake_at`` is backed by a real timer wheel: idle stretches where only a
+  future timer is pending are fast-forwarded in O(1) while still being
+  charged as rounds.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from .errors import (
     BandwidthExceededError,
@@ -29,8 +44,8 @@ from .errors import (
     NotAnEdgeError,
     RoundLimitExceededError,
 )
-from .ledger import PhaseStats
-from .message import payload_bits
+from .ledger import EngineProfile, PhaseStats
+from .message import _ID_CACHE, payload_bits_cached
 from .network import Network
 
 #: (sender, payload) pairs as delivered to a node in one round.
@@ -42,56 +57,135 @@ class Context:
 
     Programs interact with the world exclusively through this object:
     ``send`` schedules a message for delivery next tick, ``wake`` schedules
-    a spontaneous activation of a node next tick (used for timers such as
-    the random part delays of the randomized PA variant).
+    a spontaneous activation of a node next tick, and ``wake_at`` schedules
+    one at an absolute future tick (used for timers such as the random part
+    delays of the randomized PA variant).
     """
 
-    __slots__ = ("network", "tick", "_outbox", "_wakeups", "_strict_bits")
+    __slots__ = (
+        "network",
+        "tick",
+        "_outbox",
+        "_wakeups",
+        "_timers",
+        "_strict_bits",
+        "_bit_limit",
+        "_neighbor_sets",
+    )
 
     def __init__(self, network: Network, strict_bits: bool) -> None:
         self.network = network
         self.tick = 0
         self._outbox: List[Tuple[int, int, object]] = []
         self._wakeups: set = set()
+        #: Timer wheel: absolute tick -> set of nodes to activate then.
+        self._timers: Dict[int, Set[int]] = {}
         self._strict_bits = strict_bits
+        self._bit_limit = network.message_bits
+        # Per-node neighbor sets make the is-this-an-edge check a single
+        # hash lookup (Network.has_edge costs two calls per send).
+        self._neighbor_sets = network.neighbor_sets
 
     def send(self, src: int, dst: int, payload: object) -> None:
         """Schedule ``payload`` on directed edge (src, dst) for next tick."""
-        if not self.network.has_edge(src, dst):
+        # src is range-checked explicitly: negative ids would otherwise hit
+        # Python's negative indexing and validate against the wrong node's
+        # neighbor set (ROOT == -1 is a live sentinel in tree code).
+        try:
+            valid = src >= 0 and dst in self._neighbor_sets[src]
+        except IndexError:
+            valid = False
+        if not valid:
             raise NotAnEdgeError(src, dst)
         if self._strict_bits:
-            bits = payload_bits(payload)
-            if bits > self.network.message_bits:
-                raise BandwidthExceededError(
-                    src, dst, bits, self.network.message_bits
-                )
+            # Inlined fast path of payload_bits_cached: payloads that are
+            # forwarded (or interned by their program) are the same object
+            # at every hop, so the identity hit avoids even a function call.
+            entry = _ID_CACHE.get(id(payload))
+            if entry is not None and entry[0] is payload:
+                bits = entry[1]
+            else:
+                bits = payload_bits_cached(payload)
+            if bits > self._bit_limit:
+                raise BandwidthExceededError(src, dst, bits, self._bit_limit)
         self._outbox.append((src, dst, payload))
+
+    def send_batch(self, src: int, entries) -> None:
+        """Bulk :meth:`send` from one source node.
+
+        ``entries`` is an iterable of sequences carrying the destination at
+        index 0 and the payload at index -1 — both plain ``(dst, payload)``
+        pairs and the richer internal queue entries qualify.  Semantics,
+        checks, errors and outbox ordering are exactly those of calling
+        ``send(src, dst, payload)`` per entry; only the per-message lookup
+        overhead is hoisted out of the loop.
+        """
+        if not 0 <= src < len(self._neighbor_sets):
+            first = next(iter(entries), (src,))
+            raise NotAnEdgeError(src, first[0])
+        neighbors = self._neighbor_sets[src]
+        outbox = self._outbox
+        if self._strict_bits:
+            limit = self._bit_limit
+            cache_get = _ID_CACHE.get
+            for entry in entries:
+                dst = entry[0]
+                payload = entry[-1]
+                if dst not in neighbors:
+                    raise NotAnEdgeError(src, dst)
+                hit = cache_get(id(payload))
+                if hit is not None and hit[0] is payload:
+                    bits = hit[1]
+                else:
+                    bits = payload_bits_cached(payload)
+                if bits > limit:
+                    raise BandwidthExceededError(src, dst, bits, limit)
+                outbox.append((src, dst, payload))
+        else:
+            for entry in entries:
+                dst = entry[0]
+                if dst not in neighbors:
+                    raise NotAnEdgeError(src, dst)
+                outbox.append((src, dst, entry[-1]))
 
     def wake(self, node: int) -> None:
         """Ensure ``node`` is activated next tick even without mail."""
         self._wakeups.add(node)
 
     def wake_at(self, node: int, tick: int) -> None:
-        """Request activation of ``node`` at an absolute future tick.
+        """Schedule activation of ``node`` at absolute tick ``tick``.
 
-        Implemented by re-waking each tick until the target is reached; the
-        caller's ``on_node`` should check ``ctx.tick`` itself.  Provided as
-        a convenience for delay-based programs.
+        Backed by the engine's timer wheel: the node is activated (with an
+        empty inbox unless it also has mail) exactly at the requested tick,
+        and the intervening idle ticks are charged as rounds without
+        per-tick work.  ``tick`` must be strictly in the future.
         """
-        # The engine has no timer wheel; programs re-arm themselves.  This
-        # helper only validates the request.
         if tick <= self.tick:
-            raise ValueError("wake_at requires a future tick")
-        self._wakeups.add(node)
+            raise ValueError(
+                f"wake_at requires a future tick (now {self.tick}, got {tick})"
+            )
+        bucket = self._timers.get(tick)
+        if bucket is None:
+            self._timers[tick] = bucket = set()
+        bucket.add(node)
 
 
 class Program:
     """Base class for engine programs.
 
     Subclasses override :meth:`on_start` (inject initial messages/wakeups)
-    and :meth:`on_node` (per-node transition function).  A program signals
-    completion passively: the phase ends when no messages are in flight and
-    no wakeups are pending.
+    and :meth:`on_node` (per-node transition function).
+
+    Termination contract (quiescence): a program never signals completion
+    explicitly.  A phase ends exactly when, after some tick, there are no
+    messages in flight, no ``wake`` requests for the next tick, and no
+    pending ``wake_at`` timers.  Consequently a program that should keep
+    running must, every time it is activated, either send a message, call
+    ``wake``, or hold a future ``wake_at`` timer; conversely a program that
+    is done must simply stop doing all three.  Deadlock (waiting for a
+    message nobody will send) therefore manifests as early quiescence, and
+    livelock (re-waking forever) as a
+    :class:`~repro.congest.errors.RoundLimitExceededError`.
     """
 
     #: Descriptive name used in ledgers and error messages.
@@ -116,11 +210,22 @@ class Engine:
         Validate every payload against the O(log n)-bit budget.  On by
         default; benchmarks on large inputs may disable it for speed after
         the test suite has pinned payload sizes.
+    profile:
+        Attach an :class:`~repro.congest.ledger.EngineProfile` (ticks, peak
+        in-flight messages, activation counts) to every returned
+        :class:`~repro.congest.ledger.PhaseStats`.  Off by default; the
+        cost-model numbers are identical either way.
     """
 
-    def __init__(self, network: Network, strict_bits: bool = True) -> None:
+    def __init__(
+        self,
+        network: Network,
+        strict_bits: bool = True,
+        profile: bool = False,
+    ) -> None:
         self.network = network
         self.strict_bits = strict_bits
+        self.profile = profile
 
     def run(
         self,
@@ -129,6 +234,7 @@ class Engine:
         capacity: int = 1,
         rounds_per_tick: int = 1,
         name: Optional[str] = None,
+        profile: Optional[bool] = None,
     ) -> PhaseStats:
         """Execute ``program`` to quiescence and return its metered cost.
 
@@ -137,71 +243,146 @@ class Engine:
         engine tick represents; the randomized meta-round mode uses
         ``capacity == rounds_per_tick == Theta(log n)``.
 
+        ``profile`` overrides the engine-wide profiling default for this
+        phase only.
+
         Raises :class:`RoundLimitExceededError` if the program does not
         quiesce within ``max_ticks`` ticks.
         """
         phase_name = name or program.name
+        want_profile = self.profile if profile is None else profile
         ctx = Context(self.network, self.strict_bits)
         program.on_start(ctx)
 
+        n = self.network.n
+        # Reused across ticks: mailboxes[v] is v's mail this tick, touched
+        # lists the nodes with non-empty mailboxes (each exactly once).
+        mailboxes: List[List[Tuple[int, object]]] = [[] for _ in range(n)]
+        touched: List[int] = []
+
+        timers = ctx._timers
         total_messages = 0
         ticks = 0
+        live_ticks = 0
+        idle_ticks = 0
+        peak_in_flight = 0
+        activations = 0
+        on_node = program.on_node
+        # Recycled per-tick containers (the previous tick's outbox and
+        # wakeup set become the next tick's fresh ones).
+        spare_outbox: List[Tuple[int, int, object]] = []
+        spare_wakeups: set = set()
 
-        while ctx._outbox or ctx._wakeups:
+        while ctx._outbox or ctx._wakeups or timers:
+            if not ctx._outbox and not ctx._wakeups:
+                # Only future timers remain: fast-forward the clock.  The
+                # skipped ticks are still charged as rounds (time passes in
+                # a synchronous network whether or not anyone speaks).
+                next_tick = min(timers)
+                idle_ticks += next_tick - 1 - ticks
+                ticks = next_tick - 1
             if ticks >= max_ticks:
                 raise RoundLimitExceededError(phase_name, max_ticks)
             ticks += 1
+            live_ticks += 1
             ctx.tick = ticks
 
             outbox = ctx._outbox
             wakeups = ctx._wakeups
-            ctx._outbox = []
-            ctx._wakeups = set()
+            ctx._outbox = spare_outbox
+            ctx._wakeups = spare_wakeups
+            if timers:
+                due = timers.pop(ticks, None)
+                if due:
+                    wakeups |= due
 
-            total_messages += len(outbox)
+            in_flight = len(outbox)
+            total_messages += in_flight
+            if in_flight > peak_in_flight:
+                peak_in_flight = in_flight
 
-            # Group by recipient; enforce per-directed-edge capacity.
-            inboxes: Dict[int, List[Tuple[int, object]]] = defaultdict(list)
-            if capacity == 1:
-                seen_edges = set()
-                for src, dst, payload in outbox:
-                    key = (src, dst)
-                    if key in seen_edges:
-                        raise ChannelCapacityError(src, dst, 2, capacity)
-                    seen_edges.add(key)
-                    inboxes[dst].append((src, payload))
-            else:
-                edge_load: Dict[Tuple[int, int], int] = defaultdict(int)
-                for src, dst, payload in outbox:
-                    key = (src, dst)
-                    edge_load[key] += 1
-                    if edge_load[key] > capacity:
-                        raise ChannelCapacityError(
-                            src, dst, edge_load[key], capacity
-                        )
-                    inboxes[dst].append((src, payload))
+            # Bucket by recipient.  Per-edge capacity is NOT tracked here:
+            # a directed edge's load is exactly the multiplicity of its
+            # sender in the destination's mailbox, so the inbox scan below
+            # (which must look at senders anyway for deterministic
+            # ordering) enforces it with no extra per-message accounting.
+            for src, dst, payload in outbox:
+                box = mailboxes[dst]
+                if not box:
+                    touched.append(dst)
+                box.append((src, payload))
 
             # Deterministic activation order: sorted node ids; inboxes
             # sorted by sender.  Programs must not rely on this for
             # correctness, but it makes every run reproducible.
-            active = sorted(set(inboxes.keys()) | wakeups)
+            if wakeups:
+                wakeups.update(touched)
+                active = sorted(wakeups)
+            else:
+                touched.sort()
+                active = touched
+            activations += len(active)
             for node in active:
-                mail = inboxes.get(node)
-                if mail is None:
+                mail = mailboxes[node]
+                if not mail:
                     inbox: Inbox = ()
                 elif len(mail) == 1:
                     inbox = (mail[0],)
+                    mail.clear()
                 else:
-                    mail.sort(key=lambda item: item[0])
+                    # Sends are usually emitted in activation order, which
+                    # is already sorted by sender; sort only on disorder
+                    # (stable, by sender only — payloads may be
+                    # unorderable).  The same scan counts each sender's
+                    # run length, i.e. the per-directed-edge load.
+                    for _attempt in (0, 1):
+                        prev = -1
+                        run = 0
+                        in_order = True
+                        for sender, _payload in mail:
+                            if sender > prev:
+                                prev = sender
+                                run = 1
+                            elif sender == prev:
+                                run += 1
+                                if run > capacity:
+                                    raise ChannelCapacityError(
+                                        sender, node, run, capacity
+                                    )
+                            else:
+                                in_order = False
+                                break
+                        if in_order:
+                            break
+                        mail.sort(key=_sender_of)
                     inbox = tuple(mail)
-                program.on_node(ctx, node, inbox)
+                    mail.clear()
+                on_node(ctx, node, inbox)
+            touched.clear()
+            outbox.clear()
+            spare_outbox = outbox
+            wakeups.clear()
+            spare_wakeups = wakeups
 
+        prof = None
+        if want_profile:
+            prof = EngineProfile(
+                ticks=live_ticks,
+                peak_in_flight=peak_in_flight,
+                activations=activations,
+                idle_ticks=idle_ticks,
+            )
         return PhaseStats(
             name=phase_name,
             rounds=ticks * rounds_per_tick,
             messages=total_messages,
             ticks=ticks,
+            profile=prof,
         )
+
+
+def _sender_of(item: Tuple[int, object]) -> int:
+    return item[0]
 
 
 class FunctionProgram(Program):

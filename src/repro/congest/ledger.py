@@ -19,25 +19,69 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
+class EngineProfile:
+    """Opt-in execution profile of one engine phase.
+
+    Distinct from the rounds/messages *cost model* numbers: these are
+    simulator-side quantities (how the engine spent its time), useful for
+    finding hot phases and validating congestion claims.
+
+    ``ticks``
+        Engine ticks actually executed (idle ticks skipped by the timer
+        wheel are counted in ``idle_ticks`` instead, though they *are*
+        charged as rounds).
+    ``peak_in_flight``
+        Maximum number of messages in flight in any single tick.
+    ``activations``
+        Total ``on_node`` invocations across the phase.
+    ``idle_ticks``
+        Ticks the timer wheel fast-forwarded over (no mail, no wakeups,
+        only a future timer pending).
+    """
+
+    ticks: int
+    peak_in_flight: int
+    activations: int
+    idle_ticks: int = 0
+
+    def __add__(self, other: "EngineProfile") -> "EngineProfile":
+        return EngineProfile(
+            ticks=self.ticks + other.ticks,
+            peak_in_flight=max(self.peak_in_flight, other.peak_in_flight),
+            activations=self.activations + other.activations,
+            idle_ticks=self.idle_ticks + other.idle_ticks,
+        )
+
+
+@dataclass(frozen=True)
 class PhaseStats:
     """Metered cost of one engine phase.
 
     ``rounds`` already includes any meta-round blowup (an engine tick with
     per-edge capacity kappa > 1 models kappa CONGEST rounds, as in the
     randomized variant of Section 4.2).
+
+    ``profile`` is populated only when the engine ran with profiling
+    enabled (see :class:`~repro.congest.engine.Engine`); it never affects
+    the cost-model numbers.
     """
 
     name: str
     rounds: int
     messages: int
     ticks: int = 0
+    profile: Optional[EngineProfile] = None
 
     def __add__(self, other: "PhaseStats") -> "PhaseStats":
+        profile = None
+        if self.profile is not None and other.profile is not None:
+            profile = self.profile + other.profile
         return PhaseStats(
             name=self.name,
             rounds=self.rounds + other.rounds,
             messages=self.messages + other.messages,
             ticks=self.ticks + other.ticks,
+            profile=profile,
         )
 
 
@@ -80,6 +124,7 @@ class CostLedger:
                     rounds=stats.rounds,
                     messages=stats.messages,
                     ticks=stats.ticks,
+                    profile=stats.profile,
                 )
             )
 

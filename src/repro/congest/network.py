@@ -84,6 +84,11 @@ class Network:
         self.neighbors: Tuple[Tuple[int, ...], ...] = tuple(
             tuple(sorted(adj)) for adj in neighbors
         )
+        #: Per-node neighbor sets: membership tests in O(1) without the
+        #: canonical-edge round trip (the engine's send() hot path).
+        self.neighbor_sets: Tuple[frozenset, ...] = tuple(
+            frozenset(adj) for adj in self.neighbors
+        )
 
         if weights is not None:
             normalized: Dict[Edge, int] = {}

@@ -122,6 +122,12 @@ class WaveProgram(QueuedProgram):
             out_edges={}, in_edges={}, parent={},
             reached={pid: set() for pid in range(partition.num_parts)},
         )
+        # A part's token is fixed, so the (tag, pid, token) payload for a
+        # given (tag, pid) is one value: intern it.  Reusing one tuple per
+        # (tag, pid) avoids an allocation per send and lets the engine's
+        # identity-keyed bit-budget cache hit on every hop.
+        self._payload_memo: Dict[Tuple[str, int], Tuple[str, int, object]] = {}
+        self._prio_memo: Dict[Tuple[int, int], Tuple[int, int]] = {}
         # In-part neighbors that are not sub-part tree neighbors, per node:
         # the candidate boundary edges of line 15.
         self._boundary: List[Tuple[int, ...]] = []
@@ -149,12 +155,29 @@ class WaveProgram(QueuedProgram):
             self.record.parent[(dst, pid)] = src
 
     def on_dequeue(self, src: int, dst: int, payload: object) -> None:
-        tag, pid = payload[0], payload[1]
-        self._record_out(src, pid, dst, tag)
+        # Inlined _record_out: this runs once per physically sent packet.
+        out_edges = self.record.out_edges
+        key = (src, payload[1])
+        lst = out_edges.get(key)
+        if lst is None:
+            out_edges[key] = [(dst, payload[0])]
+        else:
+            lst.append((dst, payload[0]))
 
     def _send(self, ctx: Context, src: int, dst: int, tag: str, pid: int,
               token: object, priority: Tuple = (0, 0)) -> None:
-        self.enqueue(ctx, src, dst, priority, (tag, pid, token))
+        key = (tag, pid)
+        payload = self._payload_memo.get(key)
+        if payload is None:
+            payload = self._payload_memo[key] = (tag, pid, token)
+        self.enqueue(ctx, src, dst, priority, payload)
+
+    def _prio(self, v: int, pid: int) -> Tuple[int, int]:
+        key = (v, pid)
+        prio = self._prio_memo.get(key)
+        if prio is None:
+            prio = self._prio_memo[key] = (self.ann.priority_depth(v, pid), pid)
+        return prio
 
     # ------------------------------------------------------------------
     # Protocol actions
@@ -185,7 +208,7 @@ class WaveProgram(QueuedProgram):
         if pid in self.shortcut.up_parts[v] and (v, pid) not in self.kup_done:
             self.kup_done.add((v, pid))
             parent = self.shortcut.tree.parent[v]
-            prio = (self.ann.priority_depth(v, pid), pid)
+            prio = self._prio(v, pid)
             self._send(ctx, v, parent, "ku", pid, token, priority=prio)
         else:
             self._block_down(ctx, v, pid, token)
@@ -195,7 +218,7 @@ class WaveProgram(QueuedProgram):
         if (v, pid) in self.kdown_done:
             return
         self.kdown_done.add((v, pid))
-        prio = (self.ann.priority_depth(v, pid), pid)
+        prio = self._prio(v, pid)
         for child, parts in self.down[v].items():
             if pid in parts:
                 self._send(ctx, v, child, "kd", pid, token, priority=prio)
@@ -222,12 +245,21 @@ class WaveProgram(QueuedProgram):
     def on_start(self, ctx: Context) -> None:
         for pid in range(self.partition.num_parts):
             leader = self.division.part_leader[pid]
-            ctx.wake(leader)
+            delay = self.delays.get(pid, 0)
+            if delay > 1:
+                # Timer wheel: one activation exactly at the delay tick,
+                # instead of re-waking (and re-activating) every tick.
+                ctx.wake_at(leader, delay)
+            else:
+                ctx.wake(leader)
 
     def _leader_start(self, ctx: Context, leader: int) -> None:
         pid = self.part_of[leader]
         delay = self.delays.get(pid, 0)
         if ctx.tick < delay:
+            # Defensive: with wake_at-based scheduling the leader is first
+            # activated at its delay tick, so this cannot trigger unless a
+            # message reaches it earlier (in which case it re-arms).
             ctx.wake(leader)
             return
         self._started.add(pid)
@@ -241,9 +273,19 @@ class WaveProgram(QueuedProgram):
             self._send(ctx, leader, self.forest.parent[leader], "ru", pid, token)
 
     def handle(self, ctx: Context, node: int, inbox: Inbox) -> None:
+        in_edges = self.record.in_edges
+        wave_parent = self.record.parent
         for sender, payload in inbox:
             tag, pid, token = payload
-            self._record_in(node, pid, sender, tag)
+            # Inlined _record_in: once per received packet.
+            key = (node, pid)
+            lst = in_edges.get(key)
+            if lst is None:
+                in_edges[key] = [(sender, tag)]
+            else:
+                lst.append((sender, tag))
+            if key not in wave_parent:
+                wave_parent[key] = sender
             if tag == "ru":
                 if self.has_token[node]:
                     continue
@@ -275,7 +317,7 @@ class WaveProgram(QueuedProgram):
                         self._member_receive(ctx, node, pid, token, via="ku")
                     if pid in self.shortcut.up_parts[node]:
                         parent = self.shortcut.tree.parent[node]
-                        prio = (self.ann.priority_depth(node, pid), pid)
+                        prio = self._prio(node, pid)
                         self._send(ctx, node, parent, "ku", pid, token,
                                    priority=prio)
                     else:
@@ -289,6 +331,9 @@ class WaveProgram(QueuedProgram):
     def on_node(self, ctx: Context, node: int, inbox: Inbox) -> None:
         pid = self.part_of[node]
         if node == self.division.part_leader[pid] and pid not in self._started:
+            # The leader's own sends go through the activation batch (the
+            # flush in super().on_node ships them this tick).
+            self._active_node = node
             self._leader_start(ctx, node)
         super().on_node(ctx, node, inbox)
 
@@ -316,6 +361,9 @@ class ReverseProgram(QueuedProgram):
         self.expected: Dict[Tuple[int, int], int] = {}
         self.acc: Dict[Tuple[int, int], object] = {}
         self.results: Dict[int, object] = {}
+        # The None answer for part pid is one value: intern it (identity
+        # bit-budget cache + no per-send allocation).
+        self._none_answer: Dict[int, Tuple[str, int, None]] = {}
 
     def _fire(self, ctx: Context, v: int, pid: int) -> None:
         parent = self.record.parent.get((v, pid))
@@ -339,15 +387,19 @@ class ReverseProgram(QueuedProgram):
             else:
                 self.acc[key] = None
         # Answer every non-parent in-edge immediately with None.
+        none_answer = self._none_answer
         for key in keys:
             v, pid = key
             parent = self.record.parent.get(key)
             answered_parent = False
+            payload = none_answer.get(pid)
+            if payload is None:
+                payload = none_answer[pid] = ("a", pid, None)
             for src, _tag in self.record.in_edges.get(key, ()):
                 if src == parent and not answered_parent:
                     answered_parent = True  # reserved for the value answer
                     continue
-                self.enqueue(ctx, v, src, (0,), ("a", pid, None))
+                self.enqueue(ctx, v, src, (0,), payload)
         for key in keys:
             if self.expected[key] == 0:
                 v, pid = key
@@ -385,6 +437,8 @@ class ReplayProgram(QueuedProgram):
         self.results = results
         self.delivered: Dict[int, object] = {}
         self._done: Set[Tuple[int, int]] = set()
+        # One interned (tag, pid, result) payload per part, as in the wave.
+        self._payload_memo: Dict[int, Tuple[str, int, object]] = {}
 
     def _forward(self, ctx: Context, v: int, pid: int, value: object) -> None:
         key = (v, pid)
@@ -393,8 +447,14 @@ class ReplayProgram(QueuedProgram):
         self._done.add(key)
         if self.partition.part_of[v] == pid:
             self.delivered[v] = value
-        for dst, _tag in self.record.out_edges.get(key, ()):
-            self.enqueue(ctx, v, dst, (0,), ("r", pid, value))
+        out = self.record.out_edges.get(key)
+        if not out:
+            return
+        payload = self._payload_memo.get(pid)
+        if payload is None:
+            payload = self._payload_memo[pid] = ("r", pid, value)
+        for dst, _tag in out:
+            self.enqueue(ctx, v, dst, (0,), payload)
 
     def on_start(self, ctx: Context) -> None:
         for pid, value in self.results.items():

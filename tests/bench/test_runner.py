@@ -1,0 +1,180 @@
+"""The headless benchmark runner: discovery, execution, reports."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.bench import Table, drain_tables, print_table
+from repro.bench.runner import (
+    HeadlessBenchmark,
+    bench_functions,
+    discover_bench_files,
+    load_bench_module,
+    main,
+    render_experiments_md,
+    results_to_json,
+    run_all,
+)
+
+GOOD_BENCH = '''
+from repro.bench import print_table, record, run_once
+
+
+def test_tiny(benchmark):
+    def experiment():
+        print_table("tiny table", ["k", "v"], [(1, 2), (3, 4)])
+        return 5
+
+    value = run_once(benchmark, experiment)
+    assert value == 5
+    record(benchmark, rounds=7, messages=value, extra="note")
+'''
+
+BAD_BENCH = '''
+from repro.bench import record, run_once
+
+
+def test_broken(benchmark):
+    def experiment():
+        raise RuntimeError("intentional failure")
+
+    run_once(benchmark, experiment)
+'''
+
+
+def _write_bench_dir(tmp_path, files):
+    bench_dir = tmp_path / "benchmarks"
+    bench_dir.mkdir()
+    for name, body in files.items():
+        (bench_dir / name).write_text(textwrap.dedent(body))
+    return bench_dir
+
+
+def test_headless_benchmark_pedantic_times_and_returns():
+    benchmark = HeadlessBenchmark()
+    result = benchmark.pedantic(lambda: 42, rounds=1, iterations=1)
+    assert result == 42
+    assert benchmark.wall_seconds is not None and benchmark.wall_seconds >= 0
+
+
+def test_print_table_registers_structured_table(capsys):
+    drain_tables()
+    print_table("a title", ["x", "yy"], [(1, 2)])
+    tables = drain_tables()
+    assert len(tables) == 1
+    table = tables[0]
+    assert isinstance(table, Table)
+    assert table.title == "a title"
+    assert table.rows == [("1", "2")]
+    assert "| x | yy |" in table.render_markdown()
+    assert drain_tables() == []  # drained
+
+
+def test_discovery_and_run_all(tmp_path):
+    bench_dir = _write_bench_dir(
+        tmp_path, {"bench_tiny.py": GOOD_BENCH, "not_a_bench.py": "x = 1\n"}
+    )
+    files = discover_bench_files(bench_dir)
+    assert [f.name for f in files] == ["bench_tiny.py"]
+
+    module = load_bench_module(files[0])
+    assert [fn.__name__ for fn in bench_functions(module)] == ["test_tiny"]
+
+    results = run_all(bench_dir)
+    assert len(results) == 1
+    (res,) = results
+    assert res.status == "ok"
+    assert res.rounds == 7 and res.messages == 5
+    assert res.metrics["extra"] == "note"
+    assert res.wall_seconds is not None
+    assert [t.title for t in res.tables] == ["tiny table"]
+
+
+def test_run_all_reports_errors_without_crashing(tmp_path):
+    bench_dir = _write_bench_dir(
+        tmp_path, {"bench_bad.py": BAD_BENCH, "bench_tiny.py": GOOD_BENCH}
+    )
+    results = run_all(bench_dir)
+    by_name = {r.name: r for r in results}
+    assert by_name["test_broken"].status == "error"
+    assert "intentional failure" in by_name["test_broken"].error
+    assert by_name["test_tiny"].status == "ok"
+
+
+def test_main_writes_json_and_experiments_md(tmp_path):
+    bench_dir = _write_bench_dir(tmp_path, {"bench_tiny.py": GOOD_BENCH})
+    out = tmp_path / "BENCH_test.json"
+    md = tmp_path / "EXPERIMENTS.md"
+    code = main([
+        "--bench-dir", str(bench_dir),
+        "--out", str(out),
+        "--experiments-md", str(md),
+    ])
+    assert code == 0
+    report = json.loads(out.read_text())
+    assert report["schema"] == "repro-bench/1"
+    assert report["totals"] == {
+        "experiments": 1, "ok": 1, "errors": 1 - 1,
+        "wall_seconds": report["totals"]["wall_seconds"],
+    }
+    (experiment,) = report["experiments"]
+    assert experiment["rounds"] == 7
+    assert experiment["messages"] == 5
+    assert experiment["tables"][0]["title"] == "tiny table"
+
+    text = md.read_text()
+    assert "# EXPERIMENTS" in text
+    assert "tiny table" in text
+    assert "| 1 | 2 |" in text
+
+
+def test_main_nonzero_exit_on_error(tmp_path):
+    bench_dir = _write_bench_dir(tmp_path, {"bench_bad.py": BAD_BENCH})
+    out = tmp_path / "BENCH_err.json"
+    code = main([
+        "--bench-dir", str(bench_dir), "--out", str(out), "--no-experiments",
+    ])
+    assert code == 1
+    report = json.loads(out.read_text())
+    assert report["totals"]["errors"] == 1
+    assert "FAILED" in render_experiments_md(
+        run_all(bench_dir)
+    )
+
+
+def test_test_function_without_benchmark_param_is_reported_not_fatal(tmp_path):
+    bench_dir = _write_bench_dir(tmp_path, {"bench_mixed.py": '''
+from repro.bench import record, run_once
+
+
+def test_helper_without_fixture():
+    pass
+
+
+def test_real(benchmark):
+    run_once(benchmark, lambda: None)
+    record(benchmark, rounds=1, messages=2)
+'''})
+    results = run_all(bench_dir)
+    by_name = {r.name: r for r in results}
+    assert by_name["test_helper_without_fixture"].status == "error"
+    assert "benchmark" in by_name["test_helper_without_fixture"].error
+    assert by_name["test_real"].status == "ok"
+
+
+def test_results_json_headline_ignores_non_int_rounds(tmp_path):
+    bench_dir = _write_bench_dir(tmp_path, {"bench_dictround.py": '''
+from repro.bench import record, run_once
+
+
+def test_dict_rounds(benchmark):
+    run_once(benchmark, lambda: None)
+    record(benchmark, rounds={"a": 1}, messages=True)
+'''})
+    results = run_all(bench_dir)
+    payload = results_to_json(results)
+    (experiment,) = payload["experiments"]
+    # dict-valued rounds and bool-valued messages are not headline counts
+    assert experiment["rounds"] is None
+    assert experiment["messages"] is None

@@ -1,0 +1,318 @@
+"""Engine edge cases: capacity boundaries, strict-bits parity, timers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest import (
+    BandwidthExceededError,
+    ChannelCapacityError,
+    Engine,
+    EngineProfile,
+    FunctionProgram,
+    Network,
+    Program,
+    RoundLimitExceededError,
+    payload_bits,
+    payload_bits_cached,
+)
+from repro.graphs import path_graph, star_graph
+
+
+# ----------------------------------------------------------------------
+# Capacity: exactly at the boundary vs one over
+# ----------------------------------------------------------------------
+def _flood_program(count: int) -> FunctionProgram:
+    def start(ctx):
+        for i in range(count):
+            ctx.send(0, 1, ("m", i))
+
+    return FunctionProgram("flood", start, lambda ctx, n, i: None)
+
+
+@pytest.mark.parametrize("capacity", [1, 2, 3, 5])
+def test_capacity_exact_boundary_passes(path10, capacity):
+    engine = Engine(path10)
+    stats = engine.run(_flood_program(capacity), max_ticks=3, capacity=capacity)
+    assert stats.messages == capacity
+
+
+@pytest.mark.parametrize("capacity", [1, 2, 3, 5])
+def test_capacity_one_over_boundary_raises(path10, capacity):
+    engine = Engine(path10)
+    with pytest.raises(ChannelCapacityError):
+        engine.run(_flood_program(capacity + 1), max_ticks=3, capacity=capacity)
+
+
+def test_send_from_out_of_range_node_raises(path10):
+    from repro.congest import NotAnEdgeError
+
+    for src in (-1, 10, 99):
+        def start(ctx, src=src):
+            ctx.send(src, 1, ("x",))
+
+        program = FunctionProgram("ghost", start, lambda c, n, i: None)
+        with pytest.raises(NotAnEdgeError):
+            Engine(path10).run(program, max_ticks=3)
+
+
+def test_capacity_is_per_directed_edge(path10):
+    # capacity messages in each direction of one edge is legal.
+    def start(ctx):
+        ctx.send(0, 1, ("a",))
+        ctx.send(1, 0, ("b",))
+
+    program = FunctionProgram("duplex", start, lambda ctx, n, i: None)
+    stats = Engine(path10).run(program, max_ticks=3, capacity=1)
+    assert stats.messages == 2
+
+
+def test_capacity_overflow_detected_after_legal_edges():
+    # The overflowing edge is found even when other nodes' mail is fine.
+    net = star_graph(5)
+
+    def start(ctx):
+        for leaf in (1, 2, 3):
+            ctx.send(leaf, 0, ("ok", leaf))
+        ctx.send(4, 0, ("x", 1))
+        ctx.send(4, 0, ("x", 2))  # second message on directed edge (4, 0)
+
+    program = FunctionProgram("over", start, lambda ctx, n, i: None)
+    with pytest.raises(ChannelCapacityError):
+        Engine(net).run(program, max_ticks=3, capacity=1)
+
+
+# ----------------------------------------------------------------------
+# strict_bits: off vs on parity
+# ----------------------------------------------------------------------
+class PingPong(Program):
+    name = "pingpong"
+
+    def __init__(self, hops: int) -> None:
+        self.hops = hops
+
+    def on_start(self, ctx):
+        ctx.send(0, 1, ("tok", 0))
+
+    def on_node(self, ctx, node, inbox):
+        for sender, payload in inbox:
+            count = payload[1]
+            if count < self.hops:
+                ctx.send(node, sender, ("tok", count + 1))
+
+
+def test_strict_bits_off_charges_identical_ledger(path10):
+    strict = Engine(path10, strict_bits=True).run(PingPong(7), max_ticks=20)
+    loose = Engine(path10, strict_bits=False).run(PingPong(7), max_ticks=20)
+    assert (strict.rounds, strict.messages, strict.ticks) == (
+        loose.rounds, loose.messages, loose.ticks,
+    )
+
+
+def test_strict_bits_only_strict_mode_raises(path10):
+    huge = tuple(range(200))
+
+    def start(ctx):
+        ctx.send(0, 1, huge)
+
+    received = []
+    program = FunctionProgram(
+        "huge", start, lambda ctx, n, inbox: received.extend(inbox)
+    )
+    with pytest.raises(BandwidthExceededError):
+        Engine(path10, strict_bits=True).run(program, max_ticks=3)
+    stats = Engine(path10, strict_bits=False).run(program, max_ticks=3)
+    assert stats.messages == 1 and len(received) == 1
+
+
+# ----------------------------------------------------------------------
+# payload_bits_cached is exact (type-aware), not merely equality-based
+# ----------------------------------------------------------------------
+def test_payload_bits_cached_matches_exact_for_equal_but_distinct_types():
+    # 1 == 1.0 == True, yet their encodings differ; the cache must not
+    # conflate them.
+    for payload in (1, 1.0, True, "1", (1,), (1.0,), (True, "1"), None):
+        assert payload_bits_cached(payload) == payload_bits(payload)
+    # Repeated queries (cache hits) stay exact.
+    assert payload_bits_cached((1,)) == payload_bits((1,))
+    assert payload_bits_cached((1.0,)) == payload_bits((1.0,))
+    assert payload_bits_cached((1.0,)) != payload_bits_cached((1,))
+
+
+def test_payload_bits_cached_rejects_unsupported_types():
+    with pytest.raises(TypeError):
+        payload_bits_cached([1, 2])
+    with pytest.raises(TypeError):
+        payload_bits_cached({"a": 1})
+
+
+# ----------------------------------------------------------------------
+# Deterministic activation order
+# ----------------------------------------------------------------------
+def test_activation_order_is_sorted_even_for_unsorted_wakes_and_sends():
+    net = star_graph(6)
+    order = []
+
+    def start(ctx):
+        for leaf in (5, 2, 4):
+            ctx.send(leaf, 0, ("hi", leaf))
+        ctx.wake(3)
+        ctx.wake(1)
+
+    def on_node(ctx, node, inbox):
+        order.append(node)
+
+    # Wait: the sends activate node 0 (the hub); wakes activate 1 and 3.
+    Engine(net).run(FunctionProgram("order", start, on_node), max_ticks=3)
+    assert order == sorted(order)
+    assert order == [0, 1, 3]
+
+
+def test_inbox_sender_order_after_out_of_order_sends():
+    net = star_graph(5)
+    seen = []
+
+    def start(ctx):
+        for leaf in (3, 1, 4, 2):
+            ctx.send(leaf, 0, ("hi", leaf))
+
+    def on_node(ctx, node, inbox):
+        seen.extend(sender for sender, _payload in inbox)
+
+    Engine(net).run(FunctionProgram("sorted", start, on_node), max_ticks=3)
+    assert seen == [1, 2, 3, 4]
+
+
+# ----------------------------------------------------------------------
+# Timer wheel: wake_at
+# ----------------------------------------------------------------------
+def test_wake_at_delivers_at_exact_tick(path10):
+    activations = []
+
+    def start(ctx):
+        ctx.wake_at(4, 7)
+
+    def on_node(ctx, node, inbox):
+        activations.append((ctx.tick, node, len(inbox)))
+
+    stats = Engine(path10).run(FunctionProgram("timer", start, on_node),
+                               max_ticks=20)
+    assert activations == [(7, 4, 0)]
+    # The idle ticks before the timer fires are still charged as rounds.
+    assert stats.ticks == 7
+    assert stats.rounds == 7
+
+
+def test_wake_at_multiple_timers_fire_in_tick_order(path10):
+    activations = []
+
+    def start(ctx):
+        ctx.wake_at(2, 5)
+        ctx.wake_at(1, 3)
+        ctx.wake_at(3, 5)
+
+    def on_node(ctx, node, inbox):
+        activations.append((ctx.tick, node))
+
+    stats = Engine(path10).run(FunctionProgram("timers", start, on_node),
+                               max_ticks=10)
+    assert activations == [(3, 1), (5, 2), (5, 3)]
+    assert stats.ticks == 5
+
+
+def test_wake_at_interleaves_with_messages(path10):
+    log = []
+
+    class Prog(Program):
+        name = "mix"
+
+        def on_start(self, ctx):
+            ctx.send(0, 1, ("m",))
+            ctx.wake_at(5, 4)
+
+        def on_node(self, ctx, node, inbox):
+            log.append((ctx.tick, node))
+
+    stats = Engine(path10).run(Prog(), max_ticks=10)
+    assert log == [(1, 1), (4, 5)]
+    assert stats.ticks == 4
+
+
+def test_wake_at_rearming_from_a_timer_activation(path10):
+    ticks_seen = []
+
+    class Rearm(Program):
+        name = "rearm"
+
+        def on_start(self, ctx):
+            ctx.wake_at(0, 2)
+
+        def on_node(self, ctx, node, inbox):
+            ticks_seen.append(ctx.tick)
+            if ctx.tick < 8:
+                ctx.wake_at(node, ctx.tick + 3)
+
+    stats = Engine(path10).run(Rearm(), max_ticks=20)
+    assert ticks_seen == [2, 5, 8]
+    assert stats.ticks == 8
+
+
+def test_wake_at_requires_future_tick(path10):
+    def start(ctx):
+        ctx.wake_at(0, 0)
+
+    with pytest.raises(ValueError):
+        Engine(path10).run(FunctionProgram("bad", start, lambda c, n, i: None),
+                           max_ticks=3)
+
+
+def test_wake_at_beyond_max_ticks_raises(path10):
+    def start(ctx):
+        ctx.wake_at(0, 50)
+
+    with pytest.raises(RoundLimitExceededError):
+        Engine(path10).run(FunctionProgram("far", start, lambda c, n, i: None),
+                           max_ticks=10)
+
+
+# ----------------------------------------------------------------------
+# Opt-in profile
+# ----------------------------------------------------------------------
+def test_profile_off_by_default(path10):
+    stats = Engine(path10).run(PingPong(3), max_ticks=10)
+    assert stats.profile is None
+
+
+def test_profile_collects_engine_quantities(path10):
+    stats = Engine(path10, profile=True).run(PingPong(3), max_ticks=10)
+    prof = stats.profile
+    assert isinstance(prof, EngineProfile)
+    assert prof.ticks == stats.ticks == 4
+    assert prof.peak_in_flight == 1
+    assert prof.activations == 4
+    assert prof.idle_ticks == 0
+
+
+def test_profile_counts_idle_ticks_under_timer_wheel(path10):
+    def start(ctx):
+        ctx.wake_at(0, 9)
+
+    stats = Engine(path10, profile=True).run(
+        FunctionProgram("idle", start, lambda c, n, i: None), max_ticks=20
+    )
+    assert stats.rounds == 9
+    assert stats.profile.idle_ticks == 8
+    assert stats.profile.ticks == 1  # only the firing tick did work
+
+
+def test_profile_merges_across_phase_addition(path10):
+    engine = Engine(path10, profile=True)
+    a = engine.run(PingPong(3), max_ticks=10)
+    b = engine.run(PingPong(5), max_ticks=10)
+    merged = a + b
+    assert merged.profile.activations == (
+        a.profile.activations + b.profile.activations
+    )
+    assert merged.profile.peak_in_flight == max(
+        a.profile.peak_in_flight, b.profile.peak_in_flight
+    )
