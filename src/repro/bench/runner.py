@@ -17,10 +17,25 @@ Outputs:
   through :func:`repro.bench.harness.print_table` (ledger data, not
   captured stdout).
 
+Parallel sweeps: ``--jobs N`` (or ``--jobs auto``) fans the bench *files*
+out over a process pool — each worker imports one file and runs its
+experiments in isolation, so module-level state cannot leak between
+files.  The merged report is deterministic regardless of completion
+order: experiments are always emitted sorted by file name, in definition
+order within a file (identical to the serial sweep).  Wall times remain
+per-experiment measurements inside the worker; only scheduling changes.
+
+Regression gate: ``--check-against BASELINE.json`` compares every
+experiment's ledger ``rounds`` / ``messages`` against the baseline and
+exits non-zero on any difference.  Wall times are never gated — they are
+hardware facts, not model facts; the ledger is the correctness contract
+(docs/architecture.md).
+
 Usage::
 
     PYTHONPATH=src python -m repro.bench.runner --out BENCH_pr1.json
     PYTHONPATH=src python -m repro.bench.runner --only theorem12 --no-experiments
+    PYTHONPATH=src python -m repro.bench.runner --jobs auto --check-against BENCH_pr1.json
 """
 
 from __future__ import annotations
@@ -30,6 +45,7 @@ import importlib.util
 import inspect
 import io
 import json
+import os
 import sys
 import time
 import traceback
@@ -185,32 +201,89 @@ def run_experiment(path: Path, fn: Callable, quiet: bool = True) -> ExperimentRe
     )
 
 
+def run_file(
+    path: Path,
+    quiet: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[ExperimentResult]:
+    """Run every experiment of one bench file, in definition order."""
+    try:
+        module = load_bench_module(path)
+    except Exception:  # noqa: BLE001
+        return [
+            ExperimentResult(
+                file=path.name, name="<import>", status="error",
+                wall_seconds=None, rounds=None, messages=None,
+                metrics={}, tables=[], error=traceback.format_exc(),
+            )
+        ]
+    results = []
+    for fn in bench_functions(module):
+        if progress:
+            progress(f"{path.name}::{fn.__name__}")
+        results.append(run_experiment(path, fn, quiet=quiet))
+    return results
+
+
+def _run_file_worker(task: Tuple[str, bool]) -> List[ExperimentResult]:
+    """Process-pool entry point: one (bench file, quiet flag) per task."""
+    path_str, quiet = task
+    return run_file(Path(path_str), quiet=quiet)
+
+
+def resolve_jobs(jobs: str) -> int:
+    """Turn a ``--jobs`` argument into a worker count.
+
+    ``run_all`` additionally caps the pool at the number of bench files.
+    """
+    if jobs == "auto":
+        return os.cpu_count() or 1
+    try:
+        count = int(jobs)
+    except ValueError:
+        raise SystemExit(f"error: --jobs must be an integer or 'auto', got {jobs!r}")
+    if count < 1:
+        raise SystemExit(f"error: --jobs must be >= 1, got {count}")
+    return count
+
+
 def run_all(
     bench_dir: Path,
     only: Optional[str] = None,
     quiet: bool = True,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
 ) -> List[ExperimentResult]:
-    """Run every discovered benchmark (optionally filtered by substring)."""
-    results: List[ExperimentResult] = []
-    for path in discover_bench_files(bench_dir):
-        if only and only not in path.name:
-            continue
-        try:
-            module = load_bench_module(path)
-        except Exception:  # noqa: BLE001
-            results.append(
-                ExperimentResult(
-                    file=path.name, name="<import>", status="error",
-                    wall_seconds=None, rounds=None, messages=None,
-                    metrics={}, tables=[], error=traceback.format_exc(),
-                )
-            )
-            continue
-        for fn in bench_functions(module):
-            if progress:
-                progress(f"{path.name}::{fn.__name__}")
-            results.append(run_experiment(path, fn, quiet=quiet))
+    """Run every discovered benchmark (optionally filtered by substring).
+
+    With ``jobs > 1`` the bench files are distributed over a process pool.
+    The result order is identical to the serial sweep (sorted file names,
+    definition order within each file) no matter how workers are
+    scheduled, so merged reports are deterministic.
+    """
+    paths = [
+        path for path in discover_bench_files(bench_dir)
+        if not only or only in path.name
+    ]
+    if jobs > 1 and len(paths) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        results: List[ExperimentResult] = []
+        with ProcessPoolExecutor(max_workers=min(jobs, len(paths))) as pool:
+            # executor.map preserves submission order: the merged list is
+            # deterministic even though workers finish out of order.
+            for path, file_results in zip(
+                paths,
+                pool.map(_run_file_worker, [(str(p), quiet) for p in paths]),
+            ):
+                if progress:
+                    for r in file_results:
+                        progress(f"{r.file}::{r.name}")
+                results.extend(file_results)
+        return results
+    results = []
+    for path in paths:
+        results.extend(run_file(path, quiet=quiet, progress=progress))
     return results
 
 
@@ -275,6 +348,51 @@ def render_experiments_md(results: Sequence[ExperimentResult]) -> str:
     return "\n".join(lines)
 
 
+def check_against_baseline(
+    results: Sequence[ExperimentResult],
+    baseline_path: Path,
+    report: Callable[[str], None] = print,
+    only: Optional[str] = None,
+) -> List[str]:
+    """Compare ledger rounds/messages against a baseline BENCH json.
+
+    Returns a list of human-readable problems (empty = parity).  Only the
+    ledger quantities are compared — wall times are reported, never gated.
+    Experiments absent from the baseline (newly added benchmarks) are
+    noted and skipped; experiments present in the baseline but missing
+    from this run are failures (a silently dropped benchmark would
+    otherwise shrink the gate's coverage).  ``only`` mirrors the sweep's
+    file filter: baseline experiments outside it are out of scope, not
+    missing.
+    """
+    baseline = json.loads(baseline_path.read_text())
+    base_map = {
+        (e["file"], e["name"]): e for e in baseline.get("experiments", [])
+        if not only or only in e["file"]
+    }
+    problems: List[str] = []
+    seen = set()
+    for r in results:
+        key = (r.file, r.name)
+        seen.add(key)
+        base = base_map.get(key)
+        if base is None:
+            report(f"[check] new experiment (not in baseline): {r.file}::{r.name}")
+            continue
+        if r.status != "ok":
+            problems.append(f"{r.file}::{r.name} failed (baseline has it ok)")
+            continue
+        if (r.rounds, r.messages) != (base["rounds"], base["messages"]):
+            problems.append(
+                f"{r.file}::{r.name} ledger drift: rounds/messages "
+                f"{base['rounds']}/{base['messages']} -> {r.rounds}/{r.messages}"
+            )
+    for key in base_map:
+        if key not in seen:
+            problems.append(f"{key[0]}::{key[1]} missing from this run")
+    return problems
+
+
 def default_bench_dir() -> Path:
     """``benchmarks/`` under the repo root (next to ``src/``), else cwd."""
     here = Path(__file__).resolve()
@@ -315,6 +433,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--verbose", action="store_true",
         help="let the benchmarks' table printouts through to stdout",
     )
+    parser.add_argument(
+        "--jobs", default="1", metavar="N",
+        help="run bench files in N worker processes ('auto' = cpu count)",
+    )
+    parser.add_argument(
+        "--check-against", type=Path, default=None, metavar="BASELINE",
+        help="compare ledger rounds/messages against a baseline BENCH json "
+        "and exit non-zero on any drift (wall times are never gated)",
+    )
     args = parser.parse_args(argv)
 
     bench_dir = args.bench_dir or default_bench_dir()
@@ -323,11 +450,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
     out_path = args.out or Path(f"BENCH_{date.today().strftime('%Y%m%d')}.json")
 
+    jobs = resolve_jobs(args.jobs)
     results = run_all(
         bench_dir,
         only=args.only,
         quiet=not args.verbose,
         progress=lambda label: print(f"[bench] {label}", flush=True),
+        jobs=jobs,
     )
     if not results:
         print(
@@ -344,6 +473,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if not args.no_experiments:
         args.experiments_md.write_text(render_experiments_md(results) + "\n")
         print(f"[bench] wrote {args.experiments_md}")
+
+    if args.check_against is not None:
+        if not args.check_against.is_file():
+            print(f"error: baseline not found: {args.check_against}",
+                  file=sys.stderr)
+            return 2
+        problems = check_against_baseline(
+            results, args.check_against, only=args.only
+        )
+        if problems:
+            print(f"[check] LEDGER DRIFT vs {args.check_against}:",
+                  file=sys.stderr)
+            for problem in problems:
+                print(f"[check]   {problem}", file=sys.stderr)
+            return 3
+        print(f"[check] ledger parity with {args.check_against}: "
+              f"all rounds/messages identical")
 
     return 0 if report["totals"]["errors"] == 0 else 1
 

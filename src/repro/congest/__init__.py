@@ -9,7 +9,15 @@ nothing about shortcuts or Part-Wise Aggregation; it only provides:
 * :class:`CostLedger` / :class:`PhaseStats` — metered rounds and messages.
 """
 
-from .engine import Context, Engine, FunctionProgram, Inbox, Program
+from .engine import (
+    BulkProgram,
+    Context,
+    Engine,
+    FastContext,
+    FunctionProgram,
+    Inbox,
+    Program,
+)
 from .errors import (
     BandwidthExceededError,
     ChannelCapacityError,
@@ -36,12 +44,14 @@ from .network import Network, canonical_edge, network_from_networkx
 
 __all__ = [
     "BandwidthExceededError",
+    "BulkProgram",
     "ChannelCapacityError",
     "CongestError",
     "Context",
     "CostLedger",
     "Engine",
     "EngineProfile",
+    "FastContext",
     "FunctionProgram",
     "Inbox",
     "InvalidPartitionError",

@@ -31,7 +31,15 @@ EXPERIMENTS.md):
   :func:`~repro.congest.message.payload_bits_cached`;
 * ``wake_at`` is backed by a real timer wheel: idle stretches where only a
   future timer is pending are fast-forwarded in O(1) while still being
-  charged as rounds.
+  charged as rounds;
+* per-node mailbox arenas are owned by the :class:`Engine` and reused
+  across *phases*, not just across ticks, so a multi-phase pipeline pays
+  the O(n) arena allocation once per engine;
+* programs implementing the :class:`BulkProgram` protocol receive one
+  ``on_bulk`` call per tick carrying the whole activation batch, instead
+  of one ``on_node`` call per active node — the delivery schedule, outbox
+  order and metered costs are identical, only the Python dispatch count
+  changes.
 """
 
 from __future__ import annotations
@@ -65,7 +73,9 @@ class Context:
     __slots__ = (
         "network",
         "tick",
-        "_outbox",
+        "_mail",
+        "_touched",
+        "_sent",
         "_wakeups",
         "_timers",
         "_strict_bits",
@@ -73,17 +83,31 @@ class Context:
         "_neighbor_sets",
     )
 
-    def __init__(self, network: Network, strict_bits: bool) -> None:
+    def __init__(
+        self,
+        network: Network,
+        strict_bits: bool,
+        mail: Optional[List[List[Tuple[int, object]]]] = None,
+    ) -> None:
         self.network = network
         self.tick = 0
-        self._outbox: List[Tuple[int, int, object]] = []
+        # Next-tick delivery arena: sends append directly to the
+        # recipient's mailbox (no intermediate outbox), ``_touched`` lists
+        # the recipients with mail (each once), ``_sent`` counts messages.
+        # The engine swaps these per tick (and passes its reusable arena
+        # in; a stand-alone Context allocates its own).
+        self._mail: List[List[Tuple[int, object]]] = (
+            [[] for _ in range(network.n)] if mail is None else mail
+        )
+        self._touched: List[int] = []
+        self._sent = 0
         self._wakeups: set = set()
         #: Timer wheel: absolute tick -> set of nodes to activate then.
         self._timers: Dict[int, Set[int]] = {}
         self._strict_bits = strict_bits
         self._bit_limit = network.message_bits
-        # Per-node neighbor sets make the is-this-an-edge check a single
-        # hash lookup (Network.has_edge costs two calls per send).
+        # Same single-hash-lookup check as Network.has_edge, with the
+        # tuple-of-frozensets bound once for the hot loop.
         self._neighbor_sets = network.neighbor_sets
 
     def send(self, src: int, dst: int, payload: object) -> None:
@@ -108,7 +132,11 @@ class Context:
                 bits = payload_bits_cached(payload)
             if bits > self._bit_limit:
                 raise BandwidthExceededError(src, dst, bits, self._bit_limit)
-        self._outbox.append((src, dst, payload))
+        box = self._mail[dst]
+        if not box:
+            self._touched.append(dst)
+        box.append((src, payload))
+        self._sent += 1
 
     def send_batch(self, src: int, entries) -> None:
         """Bulk :meth:`send` from one source node.
@@ -121,10 +149,14 @@ class Context:
         overhead is hoisted out of the loop.
         """
         if not 0 <= src < len(self._neighbor_sets):
-            first = next(iter(entries), (src,))
-            raise NotAnEdgeError(src, first[0])
+            # entries may be a one-shot generator; it must survive the
+            # error path untouched (the caller may want to report or
+            # re-send it), so the error names only the invalid source.
+            raise NotAnEdgeError(src, None)
         neighbors = self._neighbor_sets[src]
-        outbox = self._outbox
+        mail = self._mail
+        touched = self._touched
+        count = 0
         if self._strict_bits:
             limit = self._bit_limit
             cache_get = _ID_CACHE.get
@@ -132,6 +164,7 @@ class Context:
                 dst = entry[0]
                 payload = entry[-1]
                 if dst not in neighbors:
+                    self._sent += count
                     raise NotAnEdgeError(src, dst)
                 hit = cache_get(id(payload))
                 if hit is not None and hit[0] is payload:
@@ -139,14 +172,25 @@ class Context:
                 else:
                     bits = payload_bits_cached(payload)
                 if bits > limit:
+                    self._sent += count
                     raise BandwidthExceededError(src, dst, bits, limit)
-                outbox.append((src, dst, payload))
+                box = mail[dst]
+                if not box:
+                    touched.append(dst)
+                box.append((src, payload))
+                count += 1
         else:
             for entry in entries:
                 dst = entry[0]
                 if dst not in neighbors:
+                    self._sent += count
                     raise NotAnEdgeError(src, dst)
-                outbox.append((src, dst, entry[-1]))
+                box = mail[dst]
+                if not box:
+                    touched.append(dst)
+                box.append((src, entry[-1]))
+                count += 1
+        self._sent += count
 
     def wake(self, node: int) -> None:
         """Ensure ``node`` is activated next tick even without mail."""
@@ -168,6 +212,42 @@ class Context:
         if bucket is None:
             self._timers[tick] = bucket = set()
         bucket.add(node)
+
+
+class FastContext(Context):
+    """A :class:`Context` with the per-message model audits compiled out.
+
+    Used by the engine when ``strict_bits=False`` *and*
+    ``strict_edges=False``: the per-send edge-membership check and the
+    bit-budget audit are skipped entirely.  Delivery schedule, per-edge
+    capacity enforcement and all metered costs are unchanged (pinned by
+    the parity tests); only a buggy program that sends to a non-neighbor
+    would now mis-deliver instead of raising, which is why the relaxed
+    mode is reserved for workloads whose programs the test suite already
+    exercises under the strict engine.
+    """
+
+    __slots__ = ()
+
+    def send(self, src: int, dst: int, payload: object) -> None:
+        box = self._mail[dst]
+        if not box:
+            self._touched.append(dst)
+        box.append((src, payload))
+        self._sent += 1
+
+    def send_batch(self, src: int, entries) -> None:
+        mail = self._mail
+        touched = self._touched
+        count = 0
+        for entry in entries:
+            dst = entry[0]
+            box = mail[dst]
+            if not box:
+                touched.append(dst)
+            box.append((src, entry[-1]))
+            count += 1
+        self._sent += count
 
 
 class Program:
@@ -199,6 +279,38 @@ class Program:
         raise NotImplementedError
 
 
+class BulkProgram(Program):
+    """A program that processes one tick's whole activation batch at once.
+
+    The engine hands a ``BulkProgram`` a single :meth:`on_bulk` call per
+    tick with the complete activation batch — a list of ``(node, inbox)``
+    pairs in the exact order (sorted node id) and with the exact inboxes
+    the sequential path would have used.  Array-friendly programs override
+    :meth:`on_bulk` to hoist attribute lookups and per-call overhead out of
+    the per-node loop; the default implementation simply loops over
+    :meth:`on_node`, so a ``BulkProgram`` with only ``on_node`` behaves
+    identically to a plain :class:`Program`.
+
+    Contract: the batch list and its inbox tuples are owned by the engine;
+    ``on_bulk`` must not keep references past the call.  Because all
+    inboxes of a tick are materialized before the first node runs, a
+    capacity violation anywhere in the tick surfaces before *any* node of
+    that tick executes (the sequential path would have run the earlier
+    nodes first) — metered costs and delivery schedules are unaffected,
+    since sends and wakes only ever target the next tick.
+    """
+
+    def on_bulk(self, ctx: Context, batch: List[Tuple[int, Inbox]]) -> None:
+        """Process every activation of this tick in one call."""
+        on_node = self.on_node
+        for node, inbox in batch:
+            on_node(ctx, node, inbox)
+
+    def on_node(self, ctx: Context, node: int, inbox: Inbox) -> None:
+        """Single-node fallback (used by code that drives programs manually)."""
+        raise NotImplementedError
+
+
 class Engine:
     """Runs programs on a network and meters their cost.
 
@@ -210,6 +322,14 @@ class Engine:
         Validate every payload against the O(log n)-bit budget.  On by
         default; benchmarks on large inputs may disable it for speed after
         the test suite has pinned payload sizes.
+    strict_edges:
+        Validate that every send travels along a network edge.  On by
+        default; with both ``strict_bits`` and ``strict_edges`` off the
+        engine hands programs a :class:`FastContext` whose send path does
+        no per-message auditing at all (ledger values are identical either
+        way — pinned by tests).  The audits come off together:
+        ``strict_edges=False`` with ``strict_bits=True`` is rejected
+        rather than silently keeping the edge audit.
     profile:
         Attach an :class:`~repro.congest.ledger.EngineProfile` (ticks, peak
         in-flight messages, activation counts) to every returned
@@ -222,10 +342,27 @@ class Engine:
         network: Network,
         strict_bits: bool = True,
         profile: bool = False,
+        strict_edges: bool = True,
     ) -> None:
+        if not strict_edges and strict_bits:
+            raise ValueError(
+                "strict_edges=False requires strict_bits=False: the "
+                "audit-free FastContext drops both checks together"
+            )
         self.network = network
         self.strict_bits = strict_bits
+        self.strict_edges = strict_edges
         self.profile = profile
+        #: Double-buffered per-node mailbox arenas, allocated lazily and
+        #: reused across phases (every tick leaves all mailboxes empty, so
+        #: reuse is free): one arena is being delivered while programs
+        #: fill the other.  Dropped after an abnormal phase exit, which
+        #: may leave mail behind.
+        self._arena: Optional[Tuple[
+            List[List[Tuple[int, object]]],
+            List[List[Tuple[int, object]]],
+        ]] = None
+        self._arena_in_use = False
 
     def run(
         self,
@@ -251,14 +388,49 @@ class Engine:
         """
         phase_name = name or program.name
         want_profile = self.profile if profile is None else profile
-        ctx = Context(self.network, self.strict_bits)
-        program.on_start(ctx)
-
         n = self.network.n
-        # Reused across ticks: mailboxes[v] is v's mail this tick, touched
-        # lists the nodes with non-empty mailboxes (each exactly once).
-        mailboxes: List[List[Tuple[int, object]]] = [[] for _ in range(n)]
-        touched: List[int] = []
+        # Double-buffered mailbox arenas: programs (via the Context) fill
+        # one while the engine delivers from the other; each tick swaps
+        # them.  The arenas belong to the engine and are reused across
+        # phases; a reentrant run (one program driving another on the same
+        # engine) gets a private allocation.
+        if self._arena is None or self._arena_in_use:
+            arena = ([[] for _ in range(n)], [[] for _ in range(n)])
+            if not self._arena_in_use:
+                self._arena = arena
+        else:
+            arena = self._arena
+        ctx_cls = (
+            Context if (self.strict_bits or self.strict_edges) else FastContext
+        )
+        ctx = ctx_cls(self.network, self.strict_bits, mail=arena[0])
+        reentrant = self._arena_in_use
+        self._arena_in_use = True
+        try:
+            program.on_start(ctx)
+            return self._run_loop(
+                program, ctx, arena[1], max_ticks, capacity,
+                rounds_per_tick, phase_name, want_profile,
+            )
+        except BaseException:
+            if not reentrant:
+                self._arena = None  # may hold undelivered mail; rebuild
+            raise
+        finally:
+            self._arena_in_use = reentrant
+
+    def _run_loop(
+        self,
+        program: Program,
+        ctx: Context,
+        spare_mail: List[List[Tuple[int, object]]],
+        max_ticks: int,
+        capacity: int,
+        rounds_per_tick: int,
+        phase_name: str,
+        want_profile: bool,
+    ) -> PhaseStats:
+        spare_touched: List[int] = []
 
         timers = ctx._timers
         total_messages = 0
@@ -268,13 +440,17 @@ class Engine:
         peak_in_flight = 0
         activations = 0
         on_node = program.on_node
-        # Recycled per-tick containers (the previous tick's outbox and
-        # wakeup set become the next tick's fresh ones).
-        spare_outbox: List[Tuple[int, int, object]] = []
+        # Bulk dispatch: a BulkProgram receives the whole activation batch
+        # in one call per tick (same order, same inboxes).
+        is_bulk = isinstance(program, BulkProgram)
+        on_bulk = program.on_bulk if is_bulk else None
+        bulk_batch: List[Tuple[int, Inbox]] = []
+        # Recycled per-tick containers (the delivered arena and the drained
+        # wakeup set become the next tick's fill targets).
         spare_wakeups: set = set()
 
-        while ctx._outbox or ctx._wakeups or timers:
-            if not ctx._outbox and not ctx._wakeups:
+        while ctx._sent or ctx._wakeups or timers:
+            if not ctx._sent and not ctx._wakeups:
                 # Only future timers remain: fast-forward the clock.  The
                 # skipped ticks are still charged as rounds (time passes in
                 # a synchronous network whether or not anyone speaks).
@@ -287,30 +463,30 @@ class Engine:
             live_ticks += 1
             ctx.tick = ticks
 
-            outbox = ctx._outbox
+            # Swap arenas: what the programs filled is delivered this
+            # tick; the drained spare becomes the new fill target.  Sends
+            # already live in their recipients' mailboxes — there is no
+            # bucketing pass.  Per-edge capacity is not tracked at send
+            # time: a directed edge's load is exactly the multiplicity of
+            # its sender in the destination's mailbox, so the inbox scan
+            # below (which must look at senders anyway for deterministic
+            # ordering) enforces it with no extra per-message accounting.
+            mailboxes = ctx._mail
+            touched = ctx._touched
+            in_flight = ctx._sent
             wakeups = ctx._wakeups
-            ctx._outbox = spare_outbox
+            ctx._mail = spare_mail
+            ctx._touched = spare_touched
+            ctx._sent = 0
             ctx._wakeups = spare_wakeups
             if timers:
                 due = timers.pop(ticks, None)
                 if due:
                     wakeups |= due
 
-            in_flight = len(outbox)
             total_messages += in_flight
             if in_flight > peak_in_flight:
                 peak_in_flight = in_flight
-
-            # Bucket by recipient.  Per-edge capacity is NOT tracked here:
-            # a directed edge's load is exactly the multiplicity of its
-            # sender in the destination's mailbox, so the inbox scan below
-            # (which must look at senders anyway for deterministic
-            # ordering) enforces it with no extra per-message accounting.
-            for src, dst, payload in outbox:
-                box = mailboxes[dst]
-                if not box:
-                    touched.append(dst)
-                box.append((src, payload))
 
             # Deterministic activation order: sorted node ids; inboxes
             # sorted by sender.  Programs must not rely on this for
@@ -328,6 +504,22 @@ class Engine:
                     inbox: Inbox = ()
                 elif len(mail) == 1:
                     inbox = (mail[0],)
+                    mail.clear()
+                elif len(mail) == 2:
+                    # Specialized two-message case: order stably by sender
+                    # and apply the same per-edge capacity rule as the
+                    # general scan below, without its loop machinery.
+                    first, second = mail
+                    s0 = first[0]
+                    s1 = second[0]
+                    if s0 < s1:
+                        inbox = (first, second)
+                    elif s0 > s1:
+                        inbox = (second, first)
+                    elif capacity < 2:
+                        raise ChannelCapacityError(s0, node, 2, capacity)
+                    else:
+                        inbox = (first, second)
                     mail.clear()
                 else:
                     # Sends are usually emitted in activation order, which
@@ -357,10 +549,16 @@ class Engine:
                         mail.sort(key=_sender_of)
                     inbox = tuple(mail)
                     mail.clear()
-                on_node(ctx, node, inbox)
+                if is_bulk:
+                    bulk_batch.append((node, inbox))
+                else:
+                    on_node(ctx, node, inbox)
+            if is_bulk and bulk_batch:
+                on_bulk(ctx, bulk_batch)
+                bulk_batch.clear()
             touched.clear()
-            outbox.clear()
-            spare_outbox = outbox
+            spare_touched = touched
+            spare_mail = mailboxes  # fully drained by the inbox builds
             wakeups.clear()
             spare_wakeups = wakeups
 

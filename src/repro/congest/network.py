@@ -8,16 +8,31 @@ may talk to a neighbor without knowing the neighbor's uid until told).
 
 Edge weights, when present, are positive integers in [1, poly(n)] as the
 paper requires for MST / min-cut / SSSP instances.
+
+Storage layout (the 100k-node regime): adjacency is kept in CSR form — one
+flat ``array('i')`` of neighbors plus an offsets array — built in O(m)
+without a global sorted-edge pass.  Everything derived from it
+(``edges``, ``neighbors``, ``neighbor_sets``, ``_edge_set``, the uid
+tables) is materialized lazily on first use and then cached, so a network
+that is only ever walked through the CSR arrays never pays for the Python
+object forms.  The lazily produced views are bit-for-bit identical to the
+eager ones (sorted neighbor order, lexicographically sorted ``edges``),
+which is what keeps every ledger value unchanged.
 """
 
 from __future__ import annotations
 
 import random
+from array import array
+from functools import cached_property
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .message import message_bit_limit
 
 Edge = Tuple[int, int]
+
+#: Reusable empty adjacency tuple (isolated nodes share one object).
+_EMPTY: Tuple[int, ...] = ()
 
 
 def canonical_edge(u: int, v: int) -> Edge:
@@ -52,19 +67,23 @@ class Network:
         weights: Optional[Dict[Edge, int]] = None,
         uid_seed: int = 0x5EED,
     ) -> None:
-        edge_list: List[Edge] = []
-        seen = set()
+        ends = array("i")
+        extend = ends.extend
         max_node = -1
+        min_node = 0
         for u, v in edges:
             if u == v:
                 raise ValueError(f"self-loop at node {u} is not allowed")
-            e = canonical_edge(u, v)
-            if e in seen:
-                raise ValueError(f"duplicate edge {e}")
-            seen.add(e)
-            edge_list.append(e)
-            if e[1] > max_node:
-                max_node = e[1]
+            if u > v:
+                u, v = v, u
+            extend((u, v))
+            if v > max_node:
+                max_node = v
+            if u < min_node:
+                min_node = u
+        if min_node < 0:
+            raise ValueError(f"negative node id {min_node} in edge list")
+        m = len(ends) >> 1
         if n is None:
             n = max_node + 1
         if n <= 0:
@@ -73,59 +92,153 @@ class Network:
             raise ValueError(f"edge endpoint {max_node} >= n = {n}")
 
         self.n: int = n
-        self.edges: Tuple[Edge, ...] = tuple(sorted(edge_list))
-        self.m: int = len(self.edges)
-        self._edge_set = frozenset(self.edges)
+        self.m: int = m
+        self._uid_seed: int = uid_seed
 
-        neighbors: List[List[int]] = [[] for _ in range(n)]
-        for u, v in self.edges:
-            neighbors[u].append(v)
-            neighbors[v].append(u)
-        self.neighbors: Tuple[Tuple[int, ...], ...] = tuple(
-            tuple(sorted(adj)) for adj in neighbors
-        )
-        #: Per-node neighbor sets: membership tests in O(1) without the
-        #: canonical-edge round trip (the engine's send() hot path).
-        self.neighbor_sets: Tuple[frozenset, ...] = tuple(
-            frozenset(adj) for adj in self.neighbors
-        )
+        # CSR construction: degree count, prefix offsets, bucket fill, then
+        # an in-place sort of each node's slice.  Per-slice sorting keeps
+        # the classic "neighbors in ascending order" contract (activation
+        # and send order all over the codebase depend on it) while avoiding
+        # any global O(m log m) pass over the edge list.
+        degree_count = [0] * n
+        for w in ends:
+            degree_count[w] += 1
+        itemsize = array("i").itemsize
+        offsets = array("i", bytes(itemsize * (n + 1)))
+        total = 0
+        for v in range(n):
+            offsets[v] = total
+            total += degree_count[v]
+        offsets[n] = total
+        adj = array("i", bytes(itemsize * total))
+        cursor = offsets[:n]  # running fill positions, one per node
+        it = iter(ends)
+        for u in it:
+            v = next(it)
+            cu = cursor[u]
+            adj[cu] = v
+            cursor[u] = cu + 1
+            cv = cursor[v]
+            adj[cv] = u
+            cursor[v] = cv + 1
+        for v in range(n):
+            start, end = offsets[v], offsets[v + 1]
+            if end - start > 1:
+                seg = sorted(adj[start:end])
+                prev = -1
+                for w in seg:
+                    if w == prev:
+                        raise ValueError(
+                            f"duplicate edge {canonical_edge(v, w)}"
+                        )
+                    prev = w
+                adj[start:end] = array("i", seg)
+        self._offsets: array = offsets
+        self._adj: array = adj
 
         if weights is not None:
             normalized: Dict[Edge, int] = {}
             for (u, v), w in weights.items():
                 e = canonical_edge(u, v)
-                if e not in self._edge_set:
+                if not self.has_edge(*e):
                     raise ValueError(f"weight given for non-edge {e}")
                 if not isinstance(w, int) or w < 1:
                     raise ValueError(
                         f"edge weight must be a positive integer, got {w!r}"
                     )
                 normalized[e] = w
-            missing = self._edge_set - normalized.keys()
-            if missing:
-                raise ValueError(f"missing weights for edges: {sorted(missing)[:5]}")
+            if len(normalized) < m:
+                missing = self._edge_set - normalized.keys()
+                raise ValueError(
+                    f"missing weights for edges: {sorted(missing)[:5]}"
+                )
             self.weights: Optional[Dict[Edge, int]] = normalized
         else:
             self.weights = None
 
-        rng = random.Random(uid_seed)
-        uids = list(range(n, 2 * n))
-        rng.shuffle(uids)
-        self.uid: Tuple[int, ...] = tuple(uids)
-        self._uid_to_node: Dict[int, int] = {u: i for i, u in enumerate(uids)}
-
         self.message_bits: int = message_bit_limit(n)
+
+    # ------------------------------------------------------------------
+    # Lazily materialized views (identical to the former eager forms)
+    # ------------------------------------------------------------------
+    @cached_property
+    def edges(self) -> Tuple[Edge, ...]:
+        """All edges as canonical (min, max) tuples, lexicographically sorted."""
+        adj = self._adj
+        offsets = self._offsets
+        out: List[Edge] = []
+        append = out.append
+        for u in range(self.n):
+            for k in range(offsets[u], offsets[u + 1]):
+                v = adj[k]
+                if v > u:
+                    append((u, v))
+        return tuple(out)
+
+    @cached_property
+    def neighbors(self) -> Tuple[Tuple[int, ...], ...]:
+        """Per-node neighbor tuples in ascending order."""
+        adj = self._adj
+        offsets = self._offsets
+        return tuple(
+            tuple(adj[offsets[v]:offsets[v + 1]]) if degree else _EMPTY
+            for v, degree in enumerate(self.degrees())
+        )
+
+    @cached_property
+    def neighbor_sets(self) -> Tuple[frozenset, ...]:
+        """Per-node neighbor sets: O(1) membership in the send hot path."""
+        adj = self._adj
+        offsets = self._offsets
+        return tuple(
+            frozenset(adj[offsets[v]:offsets[v + 1]])
+            for v in range(self.n)
+        )
+
+    @cached_property
+    def _edge_set(self) -> frozenset:
+        return frozenset(self.edges)
+
+    @cached_property
+    def uid(self) -> Tuple[int, ...]:
+        """KT0 unique ids: a seeded random permutation of [n, 2n)."""
+        rng = random.Random(self._uid_seed)
+        uids = list(range(self.n, 2 * self.n))
+        rng.shuffle(uids)
+        return tuple(uids)
+
+    @cached_property
+    def _uid_to_node(self) -> Dict[int, int]:
+        return {u: i for i, u in enumerate(self.uid)}
 
     # ------------------------------------------------------------------
     # Topology queries
     # ------------------------------------------------------------------
+    def adjacency_csr(self) -> Tuple[array, array]:
+        """The raw CSR arrays ``(offsets, adjacency)``.
+
+        ``adjacency[offsets[v]:offsets[v + 1]]`` lists v's neighbors in
+        ascending order.  Exposed for array-friendly bulk consumers; the
+        arrays are the network's own storage and must not be mutated.
+        """
+        return self._offsets, self._adj
+
     def has_edge(self, u: int, v: int) -> bool:
-        """True iff (u, v) is an edge of the network."""
-        return canonical_edge(u, v) in self._edge_set
+        """True iff (u, v) is an edge of the network (one hash lookup)."""
+        return 0 <= u < self.n and v in self.neighbor_sets[u]
 
     def degree(self, v: int) -> int:
         """Degree of node ``v``."""
-        return len(self.neighbors[v])
+        if v < 0:
+            v += self.n
+        if not 0 <= v < self.n:
+            raise IndexError(f"node {v} out of range")
+        return self._offsets[v + 1] - self._offsets[v]
+
+    def degrees(self) -> List[int]:
+        """All node degrees (one O(n) pass over the offsets array)."""
+        offsets = self._offsets
+        return [offsets[v + 1] - offsets[v] for v in range(self.n)]
 
     def weight(self, u: int, v: int) -> int:
         """Weight of edge (u, v); 1 if the network is unweighted."""
@@ -148,16 +261,19 @@ class Network:
     # test oracles, and workload setup -- never inside node programs)
     # ------------------------------------------------------------------
     def is_connected(self) -> bool:
-        """True iff the network is connected (BFS from node 0)."""
+        """True iff the network is connected (DFS from node 0 over the CSR)."""
         if self.n == 1:
             return True
+        adj = self._adj
+        offsets = self._offsets
         seen = bytearray(self.n)
         seen[0] = 1
         stack = [0]
         count = 1
         while stack:
             u = stack.pop()
-            for v in self.neighbors[u]:
+            for k in range(offsets[u], offsets[u + 1]):
+                v = adj[k]
                 if not seen[v]:
                     seen[v] = 1
                     count += 1
@@ -166,17 +282,21 @@ class Network:
 
     def bfs_depths(self, root: int) -> List[int]:
         """Hop distances from ``root`` (-1 for unreachable nodes)."""
+        adj = self._adj
+        offsets = self._offsets
         depth = [-1] * self.n
         depth[root] = 0
         frontier = [root]
         while frontier:
             nxt = []
+            append = nxt.append
             for u in frontier:
-                du = depth[u]
-                for v in self.neighbors[u]:
+                du = depth[u] + 1
+                for k in range(offsets[u], offsets[u + 1]):
+                    v = adj[k]
                     if depth[v] < 0:
-                        depth[v] = du + 1
-                        nxt.append(v)
+                        depth[v] = du
+                        append(v)
             frontier = nxt
         return depth
 

@@ -99,13 +99,16 @@ class PASolver:
         seed: int = 0,
         root: Optional[int] = None,
         strict_bits: bool = True,
+        strict_edges: bool = True,
     ) -> None:
         if mode not in (RANDOMIZED, DETERMINISTIC):
             raise ValueError(f"unknown mode {mode!r}")
         self.net = net
         self.mode = mode
         self.rng = random.Random(seed)
-        self.engine = Engine(net, strict_bits=strict_bits)
+        self.engine = Engine(
+            net, strict_bits=strict_bits, strict_edges=strict_edges
+        )
 
         self.tree_ledger = CostLedger()
         if root is None:

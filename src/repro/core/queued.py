@@ -27,6 +27,13 @@ Two internal representations, chosen per flush:
   falls back to ``{src: {dst: heap of (priority, seq, payload)}}``, the
   faithful Lemma 4.2 discipline.  Selection order is identical in both
   representations; only the bookkeeping cost differs.
+
+:class:`QueuedProgram` is a :class:`~repro.congest.engine.BulkProgram`:
+the engine delivers each tick's whole activation batch in one call, and
+the per-node loop here keeps the handler, queue table and flush logic in
+local variables.  Subclasses that need a hook on *every* activation —
+mail or not — override :meth:`on_activate` (e.g. the PA wave's lazy
+leader start) rather than ``on_node``.
 """
 
 from __future__ import annotations
@@ -34,12 +41,12 @@ from __future__ import annotations
 from heapq import heappop, heappush
 from typing import Dict, List, Optional, Tuple
 
-from ..congest.engine import Context, Inbox, Program
+from ..congest.engine import BulkProgram, Context, Inbox
 
 Priority = Tuple  # lexicographically ordered
 
 
-class QueuedProgram(Program):
+class QueuedProgram(BulkProgram):
     """Engine program with per-directed-edge priority queues."""
 
     def __init__(self, capacity: int = 1) -> None:
@@ -56,9 +63,18 @@ class QueuedProgram(Program):
         self._active_node = -1
         self._seq = 0
         # Skip the per-packet on_dequeue dispatch when the subclass never
-        # overrode the hook (most programs don't record dequeues).
+        # overrode the hook (most programs don't record dequeues); same
+        # for the per-activation on_activate hook.
         self._notify_dequeue = (
             type(self).on_dequeue is not QueuedProgram.on_dequeue
+        )
+        self._notify_activate = (
+            type(self).on_activate is not QueuedProgram.on_activate
+        )
+        # A subclass that still overrides on_node keeps its semantics:
+        # the bulk path falls back to dispatching through it per node.
+        self._bulk_via_on_node = (
+            type(self).on_node is not QueuedProgram.on_node
         )
 
     # ------------------------------------------------------------------
@@ -70,9 +86,9 @@ class QueuedProgram(Program):
         """Queue ``payload`` for directed edge (src, dst).
 
         A packet enqueued while ``src`` itself is being activated needs no
-        wakeup: the flush at the end of this very ``on_node`` call either
-        sends it this tick (and a sent message keeps the engine ticking)
-        or leaves a backlog (and the flush re-wakes the node itself).
+        wakeup: the flush at the end of this very activation either sends
+        it this tick (and a sent message keeps the engine ticking) or
+        leaves a backlog (and the flush re-wakes the node itself).
         Packets injected from outside — ``on_start``, or on behalf of
         another node — do wake their sender, which is what drives the
         first flush.
@@ -93,6 +109,9 @@ class QueuedProgram(Program):
     def on_dequeue(self, src: int, dst: int, payload: object) -> None:
         """Hook: called when a queued packet is physically sent."""
 
+    def on_activate(self, ctx: Context, node: int) -> None:
+        """Hook: called at the start of every activation (mail or not)."""
+
     def handle(self, ctx: Context, node: int, inbox: Inbox) -> None:
         """Subclass message handler (replaces ``on_node``)."""
         raise NotImplementedError
@@ -102,9 +121,65 @@ class QueuedProgram(Program):
     # ------------------------------------------------------------------
     def on_node(self, ctx: Context, node: int, inbox: Inbox) -> None:
         self._active_node = node
+        if self._notify_activate:
+            self.on_activate(ctx, node)
         if inbox:
             self.handle(ctx, node, inbox)
         self._active_node = -1
+        self._flush(ctx, node)
+
+    def on_bulk(self, ctx: Context, batch: List[Tuple[int, Inbox]]) -> None:
+        if self._bulk_via_on_node:
+            on_node = self.on_node
+            for node, inbox in batch:
+                on_node(ctx, node, inbox)
+            return
+        handle = self.handle
+        flush = self._flush
+        notify_activate = self._notify_activate
+        notify_dequeue = self._notify_dequeue
+        queues = self._queues
+        my_batch = self._batch
+        send = ctx.send
+        send_batch = ctx.send_batch
+        for node, inbox in batch:
+            self._active_node = node
+            if notify_activate:
+                self.on_activate(ctx, node)
+            if inbox:
+                handle(ctx, node, inbox)
+            self._active_node = -1
+            # Inlined head of _flush: the overwhelmingly common outcomes
+            # of an activation are "nothing to send", "one packet, no
+            # backlog", and "a few packets to distinct destinations, no
+            # backlog" — handle all three without a call.
+            if node not in queues:
+                k = len(my_batch)
+                if k == 0:
+                    continue
+                if k == 1:
+                    dst, _priority, _seq, payload = my_batch[0]
+                    send(node, dst, payload)
+                    if notify_dequeue:
+                        self.on_dequeue(node, dst, payload)
+                    my_batch.clear()
+                    continue
+                if k == 2:
+                    distinct = my_batch[0][0] != my_batch[1][0]
+                else:
+                    distinct = len({entry[0] for entry in my_batch}) == k
+                if distinct:
+                    send_batch(node, my_batch)
+                    if notify_dequeue:
+                        on_dequeue = self.on_dequeue
+                        for dst, _priority, _seq, payload in my_batch:
+                            on_dequeue(node, dst, payload)
+                    my_batch.clear()
+                    continue
+            flush(ctx, node)
+
+    def _flush(self, ctx: Context, node: int) -> None:
+        """Ship this activation's batch / backlog (up to capacity per edge)."""
         batch = self._batch
         by_dst = self._queues.get(node)
         if by_dst is None:

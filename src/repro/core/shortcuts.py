@@ -78,18 +78,42 @@ class Shortcut:
     # ------------------------------------------------------------------
     # Quality measures (orchestrator-side; the distributed counterparts
     # are the verification phases in repro.core.verify)
+    #
+    # ``up_parts`` is immutable after construction, so everything derived
+    # from it is computed once and cached: the per-part edge grouping is a
+    # single O(sum_i |H_i|) pass instead of an O(n) scan per part, which
+    # is the difference between O(m) and O(n * num_parts) for the quality
+    # queries issued by every PA wave.
     # ------------------------------------------------------------------
     def congestion(self) -> int:
         """Max number of parts sharing one tree edge (>= 1 by convention)."""
-        return max((len(parts) for parts in self.up_parts), default=0) or 1
+        cached = self.__dict__.get("_congestion")
+        if cached is None:
+            cached = max((len(parts) for parts in self.up_parts), default=0) or 1
+            self._congestion = cached
+        return cached
+
+    def _edges_by_part(self) -> Dict[int, List[Tuple[int, int]]]:
+        """Cached {pid: [(child, parent), ...]} with edges in node order."""
+        cached = self.__dict__.get("_edges_by_part_cache")
+        if cached is None:
+            cached = {}
+            parent = self.tree.parent
+            for v, parts in enumerate(self.up_parts):
+                if parts:
+                    edge = (v, parent[v])
+                    for pid in parts:
+                        bucket = cached.get(pid)
+                        if bucket is None:
+                            cached[pid] = [edge]
+                        else:
+                            bucket.append(edge)
+            self._edges_by_part_cache = cached
+        return cached
 
     def edges_of_part(self, pid: int) -> List[Tuple[int, int]]:
-        """The (child, parent) tree edges of ``H_pid``."""
-        return [
-            (v, self.tree.parent[v])
-            for v, parts in enumerate(self.up_parts)
-            if pid in parts
-        ]
+        """The (child, parent) tree edges of ``H_pid`` (a fresh list)."""
+        return list(self._edges_by_part().get(pid, ()))
 
     def total_shortcut_edges(self) -> int:
         """Sum over parts of |H_i| (each edge counted with multiplicity)."""
@@ -97,7 +121,7 @@ class Shortcut:
 
     def blocks_of_part(self, pid: int) -> List[Set[int]]:
         """Nontrivial blocks of part ``pid``: edge-bearing H_i components."""
-        edges = self.edges_of_part(pid)
+        edges = self._edges_by_part().get(pid, ())
         if not edges:
             return []
         parent: Dict[int, int] = {}
@@ -134,15 +158,27 @@ class Shortcut:
 
     def block_parameters(self) -> List[int]:
         """Block parameter of every part."""
-        return [self.block_parameter(pid) for pid in range(self.partition.num_parts)]
+        cached = self.__dict__.get("_block_parameters")
+        if cached is None:
+            cached = [
+                self.block_parameter(pid)
+                for pid in range(self.partition.num_parts)
+            ]
+            self._block_parameters = cached
+        return list(cached)
 
     def max_block_parameter(self) -> int:
         """The shortcut's block parameter ``b`` (max over parts)."""
         return max(self.block_parameters())
 
     def quality(self) -> Tuple[int, int]:
-        """(block parameter b, congestion c) of this shortcut."""
-        return self.max_block_parameter(), self.congestion()
+        """(block parameter b, congestion c) of this shortcut (cached)."""
+        cached = self.__dict__.get("_quality")
+        if cached is None:
+            cached = self._quality = (
+                self.max_block_parameter(), self.congestion()
+            )
+        return cached
 
     # ------------------------------------------------------------------
     def down_parts(self) -> List[Dict[int, FrozenSet[int]]]:
@@ -150,13 +186,20 @@ class Shortcut:
 
         This is the "which child edges belong to H_i" knowledge a node needs
         to forward block messages downward; physically it was learned when
-        the claims crossed the edge during construction.
+        the claims crossed the edge during construction.  The returned
+        structure is cached (the shortcut is immutable) and shared between
+        callers — treat it as read-only.
         """
-        down: List[Dict[int, FrozenSet[int]]] = [dict() for _ in range(self.tree.net.n)]
-        for v, parts in enumerate(self.up_parts):
-            if parts:
-                down[self.tree.parent[v]][v] = parts
-        return down
+        cached = self.__dict__.get("_down_parts")
+        if cached is None:
+            down: List[Dict[int, FrozenSet[int]]] = [
+                dict() for _ in range(self.tree.net.n)
+            ]
+            for v, parts in enumerate(self.up_parts):
+                if parts:
+                    down[self.tree.parent[v]][v] = parts
+            cached = self._down_parts = down
+        return cached
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         b, c = self.quality()

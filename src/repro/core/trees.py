@@ -79,6 +79,9 @@ class RootedForest:
         self.depth: Tuple[int, ...] = tuple(depth)
         #: Topological (BFS) order from the roots: parents precede children.
         self.order: Tuple[int, ...] = tuple(order)
+        # The forest is immutable, so its height is fixed at construction
+        # (the BFS order visits deepest nodes last).
+        self._height: int = self.depth[order[-1]] if order else 0
 
         in_forest = sum(1 for p in self.parent if p != ABSENT)
         if len(order) != in_forest:
@@ -99,7 +102,7 @@ class RootedForest:
 
     def height(self) -> int:
         """Maximum depth over all forest nodes (0 for a single root)."""
-        return max((self.depth[v] for v in self.order), default=0)
+        return self._height
 
     def root_of(self, v: int) -> int:
         """Root of the tree containing ``v`` (walks parent pointers)."""

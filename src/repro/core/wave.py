@@ -129,19 +129,30 @@ class WaveProgram(QueuedProgram):
         self._payload_memo: Dict[Tuple[str, int], Tuple[str, int, object]] = {}
         self._prio_memo: Dict[Tuple[int, int], Tuple[int, int]] = {}
         # In-part neighbors that are not sub-part tree neighbors, per node:
-        # the candidate boundary edges of line 15.
-        self._boundary: List[Tuple[int, ...]] = []
-        for v in range(n):
-            tree_nbrs = set(self.forest.children[v])
-            if self.forest.parent[v] >= 0:
-                tree_nbrs.add(self.forest.parent[v])
-            self._boundary.append(
-                tuple(
-                    nb
-                    for nb in net.neighbors[v]
-                    if self.part_of[nb] == self.part_of[v] and nb not in tree_nbrs
+        # the candidate boundary edges of line 15.  Purely structural
+        # (network + partition + division), so it is computed once per
+        # division and shared by every wave over it (verification and
+        # solve waves reuse the same division).
+        boundary = getattr(division, "_wave_boundary_cache", None)
+        if boundary is None:
+            part_of = self.part_of
+            forest_parent = self.forest.parent
+            forest_children = self.forest.children
+            boundary = []
+            for v in range(n):
+                tree_nbrs = set(forest_children[v])
+                if forest_parent[v] >= 0:
+                    tree_nbrs.add(forest_parent[v])
+                my_part = part_of[v]
+                boundary.append(
+                    tuple(
+                        nb
+                        for nb in net.neighbors[v]
+                        if part_of[nb] == my_part and nb not in tree_nbrs
+                    )
                 )
-            )
+            division._wave_boundary_cache = boundary
+        self._boundary: List[Tuple[int, ...]] = boundary
 
     # ------------------------------------------------------------------
     # Recording helpers
@@ -170,7 +181,12 @@ class WaveProgram(QueuedProgram):
         payload = self._payload_memo.get(key)
         if payload is None:
             payload = self._payload_memo[key] = (tag, pid, token)
-        self.enqueue(ctx, src, dst, priority, payload)
+        # Every _send happens while ``src`` is the node being activated
+        # (handlers, rep actions, and the leader start all run inside
+        # src's own activation), so the enqueue fast path is inlined: the
+        # packet goes straight to the activation batch.
+        self._seq += 1
+        self._batch.append((dst, priority, self._seq, payload))
 
     def _prio(self, v: int, pid: int) -> Tuple[int, int]:
         key = (v, pid)
@@ -328,14 +344,12 @@ class WaveProgram(QueuedProgram):
                     self._member_receive(ctx, node, pid, token, via="kd")
                 self._block_down(ctx, node, pid, token)
 
-    def on_node(self, ctx: Context, node: int, inbox: Inbox) -> None:
+    def on_activate(self, ctx: Context, node: int) -> None:
         pid = self.part_of[node]
         if node == self.division.part_leader[pid] and pid not in self._started:
             # The leader's own sends go through the activation batch (the
-            # flush in super().on_node ships them this tick).
-            self._active_node = node
+            # flush at the end of this activation ships them this tick).
             self._leader_start(ctx, node)
-        super().on_node(ctx, node, inbox)
 
 
 class ReverseProgram(QueuedProgram):
@@ -376,32 +390,44 @@ class ReverseProgram(QueuedProgram):
 
     def on_start(self, ctx: Context) -> None:
         part_of = self.partition.part_of
-        keys = set(self.record.out_edges) | set(self.record.in_edges) | set(
-            self.record.parent
-        )
+        out_edges = self.record.out_edges
+        in_edges = self.record.in_edges
+        parent_of = self.record.parent
+        reached = self.record.reached
+        values = self.values
+        expected = self.expected
+        acc = self.acc
+        keys = set(out_edges)
+        keys.update(in_edges)
+        keys.update(parent_of)
         for key in keys:
             v, pid = key
-            self.expected[key] = len(self.record.out_edges.get(key, ()))
-            if part_of[v] == pid and v in self.record.reached[pid]:
-                self.acc[key] = self.values[v]
+            out = out_edges.get(key)
+            expected[key] = len(out) if out is not None else 0
+            if part_of[v] == pid and v in reached[pid]:
+                acc[key] = values[v]
             else:
-                self.acc[key] = None
+                acc[key] = None
         # Answer every non-parent in-edge immediately with None.
         none_answer = self._none_answer
+        enqueue = self.enqueue
         for key in keys:
+            edges = in_edges.get(key)
+            if not edges:
+                continue
             v, pid = key
-            parent = self.record.parent.get(key)
+            parent = parent_of.get(key)
             answered_parent = False
             payload = none_answer.get(pid)
             if payload is None:
                 payload = none_answer[pid] = ("a", pid, None)
-            for src, _tag in self.record.in_edges.get(key, ()):
+            for src, _tag in edges:
                 if src == parent and not answered_parent:
                     answered_parent = True  # reserved for the value answer
                     continue
-                self.enqueue(ctx, v, src, (0,), payload)
+                enqueue(ctx, v, src, (0,), payload)
         for key in keys:
-            if self.expected[key] == 0:
+            if expected[key] == 0:
                 v, pid = key
                 self._fire(ctx, v, pid)
 

@@ -178,3 +178,136 @@ def test_dict_rounds(benchmark):
     # dict-valued rounds and bool-valued messages are not headline counts
     assert experiment["rounds"] is None
     assert experiment["messages"] is None
+
+
+GOOD_BENCH_B = '''
+from repro.bench import record, run_once
+
+
+def test_other(benchmark):
+    value = run_once(benchmark, lambda: 11)
+    record(benchmark, rounds=3, messages=value)
+'''
+
+
+def test_jobs_parallel_sweep_is_deterministic_and_identical(tmp_path):
+    bench_dir = _write_bench_dir(
+        tmp_path,
+        {"bench_b.py": GOOD_BENCH_B, "bench_tiny.py": GOOD_BENCH,
+         "bench_bad.py": BAD_BENCH},
+    )
+    serial = run_all(bench_dir, jobs=1)
+    parallel = run_all(bench_dir, jobs=3)
+    key = lambda r: (r.file, r.name, r.status, r.rounds, r.messages,
+                     [t.title for t in r.tables])
+    assert [key(r) for r in serial] == [key(r) for r in parallel]
+    # Sorted by file name, definition order within a file.
+    assert [r.file for r in parallel] == [
+        "bench_b.py", "bench_bad.py", "bench_tiny.py"
+    ]
+
+
+def test_resolve_jobs():
+    from repro.bench.runner import resolve_jobs
+
+    assert resolve_jobs("1") == 1
+    assert resolve_jobs("4") == 4  # run_all caps at the file count
+    assert resolve_jobs("auto") >= 1
+    import pytest
+    with pytest.raises(SystemExit):
+        resolve_jobs("zero")
+    with pytest.raises(SystemExit):
+        resolve_jobs("0")
+
+
+def test_jobs_verbose_lets_tables_through(tmp_path, capfd):
+    bench_dir = _write_bench_dir(
+        tmp_path, {"bench_b.py": GOOD_BENCH_B, "bench_tiny.py": GOOD_BENCH}
+    )
+    run_all(bench_dir, jobs=2, quiet=False)
+    out = capfd.readouterr().out
+    assert "tiny table" in out  # worker stdout is inherited, not swallowed
+
+
+def test_check_against_baseline_detects_drift_and_absence(tmp_path):
+    from repro.bench.runner import check_against_baseline
+
+    bench_dir = _write_bench_dir(tmp_path, {"bench_tiny.py": GOOD_BENCH})
+    results = run_all(bench_dir)
+    baseline_path = tmp_path / "BASE.json"
+
+    # Identical baseline: parity.
+    baseline_path.write_text(json.dumps(results_to_json(results), default=str))
+    assert check_against_baseline(results, baseline_path, report=lambda s: None) == []
+
+    # Drifted rounds: flagged.
+    drifted = json.loads(baseline_path.read_text())
+    drifted["experiments"][0]["rounds"] = 999
+    baseline_path.write_text(json.dumps(drifted))
+    problems = check_against_baseline(results, baseline_path, report=lambda s: None)
+    assert len(problems) == 1 and "ledger drift" in problems[0]
+
+    # Baseline with an extra experiment: its absence is a failure; a new
+    # experiment not in the baseline is skipped, not flagged.
+    extra = json.loads(baseline_path.read_text())
+    extra["experiments"][0]["rounds"] = 7  # restore parity
+    extra["experiments"].append(
+        {"file": "bench_gone.py", "name": "test_gone", "status": "ok",
+         "rounds": 1, "messages": 1}
+    )
+    baseline_path.write_text(json.dumps(extra))
+    problems = check_against_baseline(results, baseline_path, report=lambda s: None)
+    assert len(problems) == 1 and "missing from this run" in problems[0]
+
+
+def test_main_check_against_gates_exit_code(tmp_path):
+    bench_dir = _write_bench_dir(tmp_path, {"bench_tiny.py": GOOD_BENCH})
+    out = tmp_path / "BENCH_a.json"
+    assert main(["--bench-dir", str(bench_dir), "--out", str(out),
+                 "--no-experiments"]) == 0
+
+    # Parity against itself.
+    out2 = tmp_path / "BENCH_b.json"
+    assert main(["--bench-dir", str(bench_dir), "--out", str(out2),
+                 "--no-experiments", "--jobs", "2",
+                 "--check-against", str(out)]) == 0
+
+    # Drift the baseline: the gate must fail with the dedicated code.
+    report = json.loads(out.read_text())
+    report["experiments"][0]["messages"] = 12345
+    out.write_text(json.dumps(report))
+    assert main(["--bench-dir", str(bench_dir), "--out", str(out2),
+                 "--no-experiments", "--check-against", str(out)]) == 3
+
+    # Missing baseline file.
+    assert main(["--bench-dir", str(bench_dir), "--out", str(out2),
+                 "--no-experiments",
+                 "--check-against", str(tmp_path / "nope.json")]) == 2
+
+
+def test_check_against_respects_only_filter(tmp_path):
+    from repro.bench.runner import check_against_baseline
+
+    bench_dir = _write_bench_dir(
+        tmp_path, {"bench_b.py": GOOD_BENCH_B, "bench_tiny.py": GOOD_BENCH}
+    )
+    full = run_all(bench_dir)
+    baseline_path = tmp_path / "BASE.json"
+    baseline_path.write_text(json.dumps(results_to_json(full), default=str))
+
+    # A filtered re-run must not report out-of-scope experiments missing.
+    subset = run_all(bench_dir, only="tiny")
+    assert check_against_baseline(
+        subset, baseline_path, report=lambda s: None, only="tiny"
+    ) == []
+    # The same subset without the scope hint is flagged (gate coverage).
+    problems = check_against_baseline(
+        subset, baseline_path, report=lambda s: None
+    )
+    assert len(problems) == 1 and "missing from this run" in problems[0]
+
+    # main() threads --only through to the gate.
+    out = tmp_path / "B2.json"
+    assert main(["--bench-dir", str(bench_dir), "--out", str(out),
+                 "--no-experiments", "--only", "tiny",
+                 "--check-against", str(baseline_path)]) == 0

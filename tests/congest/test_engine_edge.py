@@ -6,6 +6,7 @@ import pytest
 
 from repro.congest import (
     BandwidthExceededError,
+    BulkProgram,
     ChannelCapacityError,
     Engine,
     EngineProfile,
@@ -273,6 +274,194 @@ def test_wake_at_beyond_max_ticks_raises(path10):
     with pytest.raises(RoundLimitExceededError):
         Engine(path10).run(FunctionProgram("far", start, lambda c, n, i: None),
                            max_ticks=10)
+
+
+def test_wake_at_exactly_max_ticks_is_allowed(path10):
+    # The fast-forward may land exactly on the budget boundary: tick
+    # max_ticks is still within the budget.
+    fired = []
+
+    def start(ctx):
+        ctx.wake_at(2, 10)
+
+    stats = Engine(path10).run(
+        FunctionProgram("edge", start, lambda c, n, i: fired.append(c.tick)),
+        max_ticks=10,
+    )
+    assert fired == [10]
+    assert stats.ticks == 10
+
+
+def test_wake_at_one_past_max_ticks_raises(path10):
+    def start(ctx):
+        ctx.wake_at(2, 11)
+
+    with pytest.raises(RoundLimitExceededError):
+        Engine(path10).run(
+            FunctionProgram("over", start, lambda c, n, i: None), max_ticks=10
+        )
+
+
+def test_fast_forward_from_rearm_cannot_overshoot_max_ticks(path10):
+    # A timer armed mid-run that fast-forwards past the budget must raise,
+    # not silently run the overshooting tick.
+    ticks_seen = []
+
+    class Rearm(Program):
+        name = "rearm_overshoot"
+
+        def on_start(self, ctx):
+            ctx.wake_at(0, 5)
+
+        def on_node(self, ctx, node, inbox):
+            ticks_seen.append(ctx.tick)
+            ctx.wake_at(node, ctx.tick + 95)
+
+    with pytest.raises(RoundLimitExceededError):
+        Engine(path10).run(Rearm(), max_ticks=20)
+    assert ticks_seen == [5]  # the overshooting activation never ran
+
+
+# ----------------------------------------------------------------------
+# send_batch: generator safety of the invalid-source error path
+# ----------------------------------------------------------------------
+def test_send_batch_invalid_src_does_not_consume_entries(path10):
+    from repro.congest import Context, NotAnEdgeError
+
+    consumed = []
+
+    def entries():
+        for dst in (1, 2):
+            consumed.append(dst)
+            yield (dst, ("x",))
+
+    gen = entries()
+    ctx = Context(path10, strict_bits=True)
+    with pytest.raises(NotAnEdgeError) as info:
+        ctx.send_batch(99, gen)
+    assert consumed == []          # the generator was not touched
+    assert info.value.src == 99
+    assert info.value.dst is None
+    # The untouched generator is still usable by the caller afterwards.
+    assert [dst for dst, _payload in gen] == [1, 2]
+    assert consumed == [1, 2]
+
+
+def test_send_batch_invalid_src_with_empty_generator(path10):
+    from repro.congest import Context, NotAnEdgeError
+
+    ctx = Context(path10, strict_bits=False)
+    with pytest.raises(NotAnEdgeError):
+        ctx.send_batch(-3, iter(()))
+
+
+def test_send_batch_valid_src_accepts_generators(path10):
+    from repro.congest import Context
+
+    ctx = Context(path10, strict_bits=True)
+    ctx.send_batch(1, ((dst, ("m", dst)) for dst in (0, 2)))
+    assert ctx._sent == 2
+
+
+# ----------------------------------------------------------------------
+# BulkProgram and FastContext: dispatch variants are ledger-identical
+# ----------------------------------------------------------------------
+class _EchoRing(Program):
+    """Token circles a path: every node forwards to the other neighbor."""
+
+    name = "echo"
+
+    def __init__(self, hops: int) -> None:
+        self.hops = hops
+        self.trace = []
+
+    def on_start(self, ctx):
+        ctx.send(0, 1, ("t", 0))
+
+    def on_node(self, ctx, node, inbox):
+        self.trace.append((ctx.tick, node))
+        for sender, (tag, count) in inbox:
+            if count < self.hops:
+                nxt = node + 1 if sender < node else node - 1
+                if 0 <= nxt < ctx.network.n:
+                    ctx.send(node, nxt, (tag, count + 1))
+
+
+class _BulkEchoRing(_EchoRing, BulkProgram):
+    """Same program dispatched through on_bulk (default loop)."""
+
+    name = "echo_bulk"
+
+
+def test_bulk_program_matches_sequential_program(path10):
+    seq = _EchoRing(7)
+    bulk = _BulkEchoRing(7)
+    a = Engine(path10).run(seq, max_ticks=20)
+    b = Engine(path10).run(bulk, max_ticks=20)
+    assert (a.rounds, a.messages, a.ticks) == (b.rounds, b.messages, b.ticks)
+    assert seq.trace == bulk.trace
+
+
+def test_fast_context_ledger_parity(path10):
+    strict = Engine(path10).run(_EchoRing(7), max_ticks=20)
+    fast_prog = _EchoRing(7)
+    fast = Engine(path10, strict_bits=False, strict_edges=False).run(
+        fast_prog, max_ticks=20
+    )
+    assert (strict.rounds, strict.messages, strict.ticks) == (
+        fast.rounds, fast.messages, fast.ticks,
+    )
+
+
+def test_fast_context_selected_only_when_both_audits_off(path10):
+    from repro.congest import FastContext
+    from repro.congest.engine import Context as StrictContext
+
+    seen = {}
+
+    def start(ctx):
+        seen["cls"] = type(ctx)
+
+    prog = FunctionProgram("probe", start, lambda c, n, i: None)
+    Engine(path10, strict_bits=False, strict_edges=False).run(prog, max_ticks=2)
+    assert seen["cls"] is FastContext
+    Engine(path10, strict_bits=False, strict_edges=True).run(prog, max_ticks=2)
+    assert seen["cls"] is StrictContext
+    # The audits come off together: dropping only the edge audit would
+    # silently keep it (Context has no strict_edges branch), so the
+    # combination is rejected outright.
+    with pytest.raises(ValueError):
+        Engine(path10, strict_bits=True, strict_edges=False)
+
+
+def test_engine_arena_reuse_across_phases_is_clean(path10):
+    engine = Engine(path10)
+    a = engine.run(PingPong(5), max_ticks=20)
+    b = engine.run(PingPong(5), max_ticks=20)
+    assert (a.rounds, a.messages) == (b.rounds, b.messages)
+    # An aborted phase must not poison the next one.
+    with pytest.raises(RoundLimitExceededError):
+        engine.run(PingPong(50), max_ticks=3)
+    c = engine.run(PingPong(5), max_ticks=20)
+    assert (c.rounds, c.messages) == (a.rounds, a.messages)
+
+
+def test_pa_pipeline_parity_between_strict_and_fast_engines():
+    from repro.core import SUM, PASolver
+    from repro.graphs import random_connected_partition, random_regular_ish
+
+    net = random_regular_ish(60, 4, seed=11)
+    part = random_connected_partition(net, 6, seed=12)
+
+    def pipeline(**engine_flags):
+        solver = PASolver(net, seed=13, **engine_flags)
+        setup = solver.prepare(part)
+        result = solver.solve(setup, [1] * net.n, SUM)
+        return result.rounds, result.messages, dict(result.aggregates)
+
+    strict = pipeline()
+    loose = pipeline(strict_bits=False, strict_edges=False)
+    assert strict == loose
 
 
 # ----------------------------------------------------------------------

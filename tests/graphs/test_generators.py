@@ -14,7 +14,9 @@ from repro.graphs import (
     k_tree,
     ladder,
     path_graph,
+    preferential_attachment,
     random_connected,
+    random_regular,
     random_regular_ish,
     random_tree,
     star_graph,
@@ -133,3 +135,41 @@ def test_generator_argument_validation():
         k_tree(3, 3)
     with pytest.raises(ValueError):
         random_connected(5, 1.5)
+
+
+def test_random_regular_exact_degree_connected_deterministic():
+    net = random_regular(60, 4, seed=3)
+    assert net.is_connected()
+    assert set(net.degrees()) == {4}
+    assert net.m == 60 * 4 // 2
+    again = random_regular(60, 4, seed=3)
+    assert net.edges == again.edges
+    other = random_regular(60, 4, seed=4)
+    assert net.edges != other.edges
+
+
+def test_random_regular_odd_degree_needs_even_total():
+    net = random_regular(40, 3, seed=9)
+    assert set(net.degrees()) == {3}
+    with pytest.raises(ValueError):
+        random_regular(41, 3)  # odd n * odd degree
+    with pytest.raises(ValueError):
+        random_regular(10, 2)  # degree < 3
+    with pytest.raises(ValueError):
+        random_regular(4, 4)   # n <= degree
+
+
+def test_preferential_attachment_structure():
+    net = preferential_attachment(300, 3, seed=7)
+    assert net.is_connected()
+    # Star seed contributes `attach` edges; every later node adds `attach`.
+    assert net.m == 3 + (300 - 4) * 3
+    degs = net.degrees()
+    assert min(degs) >= 3
+    # Heavy tail: some hub well above the attachment constant.
+    assert max(degs) > 12
+    assert preferential_attachment(300, 3, seed=7).edges == net.edges
+    with pytest.raises(ValueError):
+        preferential_attachment(3, 3)
+    with pytest.raises(ValueError):
+        preferential_attachment(10, 0)
