@@ -16,6 +16,10 @@ Public API tour:
   flood PA, GHS-style MST).
 * ``repro.analysis`` — sequential reference oracles and the paper's
   Table 1/2 bounds.
+* ``repro.families`` — family-aware shortcut construction: the
+  ``ShortcutProvider`` strategy API, decomposition oracles with validity
+  certificates, and the registry realizing the Tables 1-2 O~(D) bounds
+  (pluggable via ``PASolver.prepare(..., shortcut_provider=...)``).
 """
 
 from .congest import CostLedger, Engine, Network, PhaseStats
@@ -30,6 +34,7 @@ from .core import (
     Shortcut,
     solve_pa,
 )
+from .families import ShortcutProvider, provider_for
 from .graphs import Partition
 
 __version__ = "1.0.0"
@@ -46,8 +51,10 @@ __all__ = [
     "PASolver",
     "Partition",
     "PhaseStats",
+    "ShortcutProvider",
     "SUM",
     "Shortcut",
+    "provider_for",
     "solve_pa",
     "__version__",
 ]

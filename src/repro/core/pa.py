@@ -136,6 +136,7 @@ class PASolver:
         congestion_budget: Optional[int] = None,
         block_target: Optional[int] = None,
         validate: bool = True,
+        shortcut_provider: Optional[object] = None,
     ) -> PASetup:
         """Build division + shortcut + annotations for a partition.
 
@@ -144,6 +145,12 @@ class PASolver:
         ``setup.setup_ledger`` and is also folded into each solve's ledger
         exactly once by :meth:`solve` (pass ``charge_setup=False`` there to
         opt out when amortizing).
+
+        ``shortcut_provider`` swaps the shortcut-construction strategy: any
+        :class:`repro.families.ShortcutProvider` (e.g. the family-aware
+        constructions realizing the Tables 1-2 O~(D) bounds).  The default
+        ``None`` runs today's mode-selected pipeline unchanged — same code
+        path, same randomness, same ledger, bit for bit.
         """
         if validate:
             validate_partition(self.net, partition)
@@ -160,6 +167,21 @@ class PASolver:
                 self.engine, self.net, partition, leaders, self.diameter,
                 ledger, self.rng,
             )
+        else:
+            from .subparts_det import build_subpart_division_deterministic
+
+            division = build_subpart_division_deterministic(
+                self.engine, self.net, partition, leaders, self.diameter,
+                ledger,
+            )
+        if shortcut_provider is not None:
+            build = shortcut_provider.build(
+                self.engine, self.net, partition, division, self.tree,
+                self.diameter, ledger, rng=self.rng,
+                congestion_budget=congestion_budget,
+                block_target=block_target,
+            )
+        elif self.mode == RANDOMIZED:
             build = build_shortcut_randomized(
                 self.engine, self.net, partition, division, self.tree,
                 self.diameter, ledger, self.rng,
@@ -167,13 +189,8 @@ class PASolver:
                 block_target=block_target,
             )
         else:
-            from .subparts_det import build_subpart_division_deterministic
             from .det_shortcut import build_shortcut_deterministic
 
-            division = build_subpart_division_deterministic(
-                self.engine, self.net, partition, leaders, self.diameter,
-                ledger,
-            )
             build = build_shortcut_deterministic(
                 self.engine, self.net, partition, division, self.tree,
                 self.diameter, ledger,
@@ -234,6 +251,7 @@ def solve_pa(
     leaders: Optional[Sequence[int]] = None,
     include_tree_cost: bool = True,
     solver: Optional[PASolver] = None,
+    shortcut_provider: Optional[object] = None,
 ) -> PAResult:
     """One-call Part-Wise Aggregation (builds the whole pipeline).
 
@@ -242,10 +260,14 @@ def solve_pa(
     associative-commutative ``agg``, every node of every part learns
     ``f(P_i)``; the result's ledger meters every round and message of tree
     construction, sub-part division, shortcut construction, verification
-    and the PA waves.
+    and the PA waves.  ``shortcut_provider`` selects a family-aware
+    construction (see :mod:`repro.families`); ``None`` is the general
+    pipeline.
     """
     solver = solver or PASolver(net, mode=mode, seed=seed)
-    setup = solver.prepare(partition, leaders=leaders)
+    setup = solver.prepare(
+        partition, leaders=leaders, shortcut_provider=shortcut_provider
+    )
     result = solver.solve(setup, values, agg)
     if include_tree_cost:
         result.ledger.merge(solver.tree_ledger, prefix="tree:")

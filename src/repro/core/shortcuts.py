@@ -269,24 +269,23 @@ def validate_shortcut(shortcut: Shortcut) -> None:
                 )
 
 
-def shortcut_hint_for_family(family: str, n: int, diameter: int) -> Tuple[int, int]:
+def shortcut_hint_for_family(
+    family: str, n: int, diameter: int, param: Optional[int] = None
+) -> Tuple[int, int]:
     """Paper Table 1: the (b, c) a family is known to admit.
 
     Used as construction targets by benchmarks; the construction verifies
     and adapts via doubling regardless, so a wrong hint costs rounds, not
     correctness.
-    """
-    import math
 
-    log_n = max(1, math.ceil(math.log2(max(2, n))))
-    sqrt_n = max(1, math.isqrt(n))
-    hints = {
-        "general": (1, sqrt_n),
-        "planar": (max(1, math.ceil(math.log2(max(2, diameter)))), diameter * log_n),
-        "genus": (2, 2 * diameter * log_n),
-        "treewidth": (4, 4 * log_n),
-        "pathwidth": (2, 2),
-    }
-    if family not in hints:
-        raise KeyError(f"unknown family {family!r}; known: {sorted(hints)}")
-    return hints[family]
+    Delegates to the family registry (:mod:`repro.families.registry`),
+    which evaluates the one set of Table 1 formulas kept in
+    :mod:`repro.analysis.theory` — the envelopes have a single source of
+    truth.  ``param`` is the family parameter (genus g, treewidth t,
+    pathwidth p); omitted, each family's canonical workload parameter is
+    used.  Raises ``KeyError`` listing the known families for an unknown
+    name.
+    """
+    from ..families.registry import family_hint
+
+    return family_hint(family, n, diameter, param=param)

@@ -1,0 +1,67 @@
+"""Family-aware shortcut construction (Tables 1-2 / Appendix C).
+
+The paper's structural headline is that planar, bounded-genus,
+bounded-treewidth and bounded-pathwidth graphs admit low-congestion
+shortcuts of quality O~(D) — far below the general (b=1, c=sqrt n)
+pipeline.  This package realizes those constructions behind a strategy
+API:
+
+* :mod:`~repro.families.provider` — the :class:`ShortcutProvider` API and
+  the concrete providers (general, tree-restricted planar/genus,
+  treewidth, pathwidth), pluggable into
+  ``PASolver.prepare(..., shortcut_provider=...)``;
+* :mod:`~repro.families.decompose` — the decomposition oracles (BFS
+  layerings, tree/path decompositions) with validity certificates;
+* :mod:`~repro.families.steiner` — the shared capped Steiner-climb core;
+* :mod:`~repro.families.registry` — one row per family: Table 1/2
+  envelopes (single-sourced from :mod:`repro.analysis.theory`), canonical
+  parameters and provider factories.
+"""
+
+from .decompose import (
+    BFSLayering,
+    DecompositionError,
+    PathDecomposition,
+    TreeDecomposition,
+    bfs_layering,
+    euler_planar_bound,
+    path_decomposition,
+    tree_decomposition,
+)
+from .provider import (
+    GeneralProvider,
+    PathwidthProvider,
+    ShortcutProvider,
+    TreeRestrictedProvider,
+    TreewidthProvider,
+)
+from .registry import FAMILIES, Family, family_hint, get_family, provider_for
+from .steiner import (
+    build_steiner_shortcut,
+    steiner_edges_of_part,
+    steiner_up_parts,
+)
+
+__all__ = [
+    "BFSLayering",
+    "DecompositionError",
+    "FAMILIES",
+    "Family",
+    "GeneralProvider",
+    "PathDecomposition",
+    "PathwidthProvider",
+    "ShortcutProvider",
+    "TreeDecomposition",
+    "TreeRestrictedProvider",
+    "TreewidthProvider",
+    "bfs_layering",
+    "build_steiner_shortcut",
+    "euler_planar_bound",
+    "family_hint",
+    "get_family",
+    "path_decomposition",
+    "provider_for",
+    "steiner_edges_of_part",
+    "steiner_up_parts",
+    "tree_decomposition",
+]

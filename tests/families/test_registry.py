@@ -1,0 +1,92 @@
+"""Family registry: single-sourced envelopes, hint delegation, factories."""
+
+import math
+
+import pytest
+
+from repro.analysis import TABLE1, TABLE2_DETERMINISTIC, TABLE2_RANDOMIZED
+from repro.core import shortcut_hint_for_family
+from repro.families import (
+    FAMILIES,
+    GeneralProvider,
+    PathwidthProvider,
+    TreeRestrictedProvider,
+    TreewidthProvider,
+    family_hint,
+    get_family,
+    provider_for,
+)
+
+
+def test_registry_covers_table1():
+    assert set(FAMILIES) == set(TABLE1)
+
+
+def test_registry_reuses_theory_objects():
+    # The envelopes have a single source of truth: the registry holds the
+    # very objects from analysis.theory, not copies of the formulas.
+    for name, family in FAMILIES.items():
+        assert family.bounds is TABLE1[name]
+        assert family.det_rounds == TABLE2_DETERMINISTIC[name]
+        assert family.rand_rounds == TABLE2_RANDOMIZED[name]
+
+
+def test_hint_is_ceil_of_table1():
+    for name, family in FAMILIES.items():
+        b, c = family_hint(name, 500, 30)
+        p = family.default_param
+        assert b == max(1, math.ceil(TABLE1[name].block_parameter(500, 30, p)))
+        assert c == max(1, math.ceil(TABLE1[name].congestion(500, 30, p)))
+
+
+def test_hint_param_override():
+    b4, c4 = family_hint("treewidth", 256, 10, param=4)
+    b2, c2 = family_hint("treewidth", 256, 10, param=2)
+    assert b4 == 4 and b2 == 2 and c4 == 2 * c2
+
+
+def test_core_hint_delegates_to_registry():
+    assert shortcut_hint_for_family("general", 100, 10) == family_hint(
+        "general", 100, 10
+    )
+    assert shortcut_hint_for_family("planar", 400, 12) == family_hint(
+        "planar", 400, 12
+    )
+    assert shortcut_hint_for_family("treewidth", 400, 12, param=5) == (
+        family_hint("treewidth", 400, 12, param=5)
+    )
+
+
+def test_unknown_family_raises_with_known_list():
+    with pytest.raises(KeyError, match="hyperbolic"):
+        family_hint("hyperbolic", 100, 10)
+    with pytest.raises(KeyError, match="planar"):
+        get_family("hyperbolic")
+
+
+def test_provider_factories():
+    assert isinstance(provider_for("general"), GeneralProvider)
+    planar = provider_for("planar")
+    assert isinstance(planar, TreeRestrictedProvider) and planar.genus == 0
+    genus = provider_for("genus", param=3)
+    assert isinstance(genus, TreeRestrictedProvider) and genus.genus == 3
+    tw = provider_for("treewidth")
+    assert isinstance(tw, TreewidthProvider) and tw.width == 3
+    pw = provider_for("pathwidth")
+    assert isinstance(pw, PathwidthProvider) and pw.width == 2
+
+
+def test_provider_for_plumbs_claim_small():
+    # Default: the exemption applies.
+    for name in ("planar", "genus", "treewidth", "pathwidth"):
+        assert provider_for(name).claim_small is False
+        assert provider_for(name, claim_small=True).claim_small is True
+    # general has no exemption toggle (structural in Algorithm 4): the
+    # flag is accepted and ignored rather than mutating the provider.
+    assert not hasattr(provider_for("general", claim_small=True), "claim_small")
+
+
+def test_genus_param_widens_cap():
+    flat = provider_for("genus", param=1)
+    bumpy = provider_for("genus", param=9)
+    assert bumpy.congestion_cap(1000, 20) >= 3 * flat.congestion_cap(1000, 20) - 3

@@ -173,3 +173,46 @@ def test_preferential_attachment_structure():
         preferential_attachment(3, 3)
     with pytest.raises(ValueError):
         preferential_attachment(10, 0)
+
+
+def test_series_parallel_structure():
+    from repro.graphs import series_parallel
+
+    net = series_parallel(50, seed=3)
+    assert net.n == 50
+    assert net.m == 2 * 50 - 3  # edge + two edges per attached node
+    assert net.is_connected()
+    # treewidth exactly 2: the decomposition oracle certifies it
+    from repro.families import tree_decomposition
+
+    td = tree_decomposition(net)
+    td.validate(net)
+    assert td.width == 2
+    # deterministic per seed
+    again = series_parallel(50, seed=3)
+    assert again.edges == net.edges
+    assert series_parallel(50, seed=4).edges != net.edges
+    with pytest.raises(ValueError):
+        series_parallel(1)
+
+
+def test_random_planar_structure():
+    from repro.families import euler_planar_bound
+    from repro.graphs import random_planar
+
+    net = random_planar(230, seed=5)
+    assert net.n == 230
+    assert net.is_connected()
+    assert euler_planar_bound(net)
+    # the grid skeleton is intact and some cells are triangulated,
+    # some are holes: strictly between skeleton-only and full triangulation
+    skeleton = random_planar(230, seed=5, hole_prob=1.0)
+    full = random_planar(230, seed=5, hole_prob=0.0)
+    assert skeleton.m < net.m < full.m
+    assert euler_planar_bound(full)
+    # deterministic per seed
+    assert random_planar(230, seed=5).edges == net.edges
+    with pytest.raises(ValueError):
+        random_planar(3)
+    with pytest.raises(ValueError):
+        random_planar(100, hole_prob=1.5)
