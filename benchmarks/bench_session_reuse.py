@@ -1,0 +1,210 @@
+"""E-session (PR 4): cross-phase reuse and batched solves in the runtime.
+
+Two claims about the :class:`repro.runtime.PASession` layer:
+
+1. **Reuse pays at scale.**  Boruvka MST rebuilds the whole Theorem 1.2
+   pipeline every phase; a reusing session coarsens the previous phase's
+   division/shortcut and memoizes repeated partitions instead.  At
+   n >= 20k the end-to-end wall-clock of the full MST drops by >= 1.5x
+   (and the metered rounds fall with it), with the output bit-identical.
+
+2. **Batching cuts rounds.**  k aggregations over one setup run in one
+   wave pass instead of k; the ledger shows the round/message saving and
+   the aggregates are unchanged.
+
+``REPRO_SESSION_MAX_N`` caps the sweep (default 20000; the issue's range
+runs to 50000 — raise the env var to measure it).  Wall times are
+reported for the reuse experiment because the *simulator's* speed is the
+claim under test there; ledger rounds/messages stay the headline metrics
+and the regression-gate contract.  The >=1.5x wall assertion is enforced
+by default on local runs but can be lifted with
+``REPRO_SESSION_WALL_GATE=0`` — CI sets that, consistent with the
+repo-wide rule that wall times are hardware facts and are never gated
+there (the deterministic ledger assertions always run).
+"""
+
+import math
+import os
+import time
+
+from repro import PASession
+from repro.algorithms import minimum_spanning_tree
+from repro.analysis import kruskal_mst
+from repro.bench import print_table, record, run_once
+from repro.core import MIN, MIN_TUPLE, SUM
+from repro.graphs import bfs_ball_partition, grid_2d, with_distinct_weights
+
+MAX_N = int(os.environ.get("REPRO_SESSION_MAX_N", "20000"))
+
+#: Wall-clock speedup assertion switch (see module docstring): on by
+#: default for local measurement runs, off in CI where timing is noisy.
+WALL_GATE = os.environ.get("REPRO_SESSION_WALL_GATE", "1") != "0"
+
+#: (rows, cols) MST sweep; the largest obeys MAX_N.
+_SIZES = [(32, 64), (100, 200), (200, 250)]
+
+
+def _mst_workloads():
+    out = []
+    for rows, cols in _SIZES:
+        if rows * cols <= max(2048, MAX_N):
+            out.append((rows, cols))
+    return out
+
+
+def test_mst_session_reuse(benchmark):
+    """Full Boruvka MST, bare pipeline vs reusing+batching session."""
+
+    def experiment():
+        rows_out = []
+        data = {}
+        for rows, cols in _mst_workloads():
+            net = with_distinct_weights(grid_2d(rows, cols), seed=rows)
+            t0 = time.perf_counter()
+            off = minimum_spanning_tree(net, seed=17)
+            wall_off = time.perf_counter() - t0
+
+            sess = PASession(net, seed=17, reuse=True, batch=True)
+            t0 = time.perf_counter()
+            on = minimum_spanning_tree(net, seed=17, session=sess)
+            wall_on = time.perf_counter() - t0
+
+            assert set(on.output) == set(off.output), "reuse changed the MST"
+            if net.n <= 4096:
+                assert set(off.output) == kruskal_mst(net)
+
+            stats = sess.stats
+            rows_out.append(
+                (f"grid {rows}x{cols}", net.n,
+                 f"{wall_off:.2f}", f"{wall_on:.2f}",
+                 f"{wall_off / wall_on:.2f}",
+                 off.rounds, on.rounds,
+                 off.messages, on.messages,
+                 stats.coarsenings, stats.cache_hits, stats.rebuilds)
+            )
+            data[net.n] = (off, on, wall_off, wall_on, stats)
+        print_table(
+            "PR4: MST end-to-end, bare pipeline vs PASession(reuse, batch)",
+            ["graph", "n", "wall off (s)", "wall on (s)", "speedup",
+             "rounds off", "rounds on", "msgs off", "msgs on",
+             "coarsenings", "cache hits", "rebuilds"],
+            rows_out,
+        )
+        return data
+
+    data = run_once(benchmark, experiment)
+    largest_n = max(data)
+    off, on, wall_off, wall_on, stats = data[largest_n]
+
+    # Reuse must never inflate the metered cost model.
+    assert on.rounds < off.rounds
+    assert on.messages < off.messages
+    # Coarsening (not wholesale rebuilding) must be doing the work.
+    assert stats.coarsenings > 0
+    assert stats.coarsenings >= 4 * stats.rebuilds
+    if WALL_GATE and largest_n >= 20000:
+        # The issue's headline target, asserted only at the scale it names
+        # (REPRO_SESSION_MAX_N below 20000 smoke-tests the sweep shape)
+        # and only where timing is trustworthy (REPRO_SESSION_WALL_GATE).
+        assert wall_off / wall_on >= 1.5, (
+            f"reuse speedup {wall_off / wall_on:.2f} < 1.5 at n={largest_n}"
+        )
+    record(
+        benchmark,
+        largest_n=largest_n,
+        wall_off_seconds=round(wall_off, 3),
+        wall_on_seconds=round(wall_on, 3),
+        speedup=round(wall_off / wall_on, 3),
+        rounds_off=off.rounds,
+        rounds_on=on.rounds,
+        coarsenings=stats.coarsenings,
+        rebuilds=stats.rebuilds,
+        rounds=on.rounds,
+        messages=on.messages,
+    )
+
+
+def test_batched_vs_sequential_solves(benchmark):
+    """k aggregates over one setup: one wave pass vs k sequential solves."""
+
+    def experiment():
+        net = grid_2d(40, 50)
+        part = bfs_ball_partition(net, 80, seed=7)
+        uids = [net.uid[v] for v in range(net.n)]
+        moe_like = [(net.uid[v] % 13, net.uid[v]) for v in range(net.n)]
+        items = [([1] * net.n, SUM), (uids, MIN), (moe_like, MIN_TUPLE)]
+
+        seq_sess = PASession(net, seed=9, batch=False)
+        setup = seq_sess.prepare(part)
+        seq = seq_sess.solve_many(setup, items, charge_setup=False)
+
+        bat_sess = PASession(net, seed=9, batch=True)
+        setup_b = bat_sess.prepare(part)
+        bat = bat_sess.solve_many(setup_b, items, charge_setup=False)
+
+        for k in range(len(items)):
+            assert bat.per_agg[k].aggregates == seq.per_agg[k].aggregates
+
+        print_table(
+            "PR4: k=3 aggregations over one setup, sequential vs batched",
+            ["schedule", "wave passes", "rounds", "messages"],
+            [
+                ("sequential", 3, seq.ledger.rounds, seq.ledger.messages),
+                ("batched", 1, bat.ledger.rounds, bat.ledger.messages),
+                ("saving", "-",
+                 seq.ledger.rounds - bat.ledger.rounds,
+                 seq.ledger.messages - bat.ledger.messages),
+            ],
+        )
+        return seq, bat, part
+
+    seq, bat, part = run_once(benchmark, experiment)
+    assert bat.ledger.rounds < seq.ledger.rounds
+    assert bat.ledger.messages < seq.ledger.messages
+    record(
+        benchmark,
+        parts=part.num_parts,
+        sequential_rounds=seq.ledger.rounds,
+        batched_rounds=bat.ledger.rounds,
+        sequential_messages=seq.ledger.messages,
+        batched_messages=bat.ledger.messages,
+        rounds=bat.ledger.rounds,
+        messages=bat.ledger.messages,
+    )
+
+
+def test_mincut_session_sharing(benchmark):
+    """Tree packing through one reusing session: shared tree + setups."""
+
+    from repro.algorithms import approx_min_cut
+
+    def experiment():
+        net = with_distinct_weights(grid_2d(12, 16), seed=23)
+        off = approx_min_cut(net, seed=5, max_trees=4)
+        sess = PASession(net, seed=5, reuse=True, batch=True)
+        on = approx_min_cut(net, seed=5, max_trees=4, session=sess)
+        assert on.output == off.output, "session changed the cut"
+        print_table(
+            "PR4: min-cut tree packing, bare vs shared session",
+            ["pipeline", "rounds", "messages", "prepares", "cache hits",
+             "coarsenings"],
+            [
+                ("bare", off.rounds, off.messages, "-", "-", "-"),
+                ("session", on.rounds, on.messages, sess.stats.prepares,
+                 sess.stats.cache_hits, sess.stats.coarsenings),
+            ],
+        )
+        return off, on, sess
+
+    off, on, sess = run_once(benchmark, experiment)
+    assert on.rounds < off.rounds
+    # The singleton phase-1 partition must be served from cache for every
+    # packing tree after the first.
+    assert sess.stats.cache_hits > 0
+    record(
+        benchmark,
+        rounds_off=off.rounds,
+        cache_hits=sess.stats.cache_hits,
+        rounds=on.rounds,
+        messages=on.messages,
+    )

@@ -20,6 +20,10 @@ Public API tour:
   ``ShortcutProvider`` strategy API, decomposition oracles with validity
   certificates, and the registry realizing the Tables 1-2 O~(D) bounds
   (pluggable via ``PASolver.prepare(..., shortcut_provider=...)``).
+* ``repro.runtime`` — :class:`PASession`: the long-lived PA acquisition
+  point every algorithm routes through, with opt-in setup caching,
+  incremental coarsening across merge phases, and batched
+  multi-aggregate solves.
 """
 
 from .congest import CostLedger, Engine, Network, PhaseStats
@@ -36,6 +40,7 @@ from .core import (
 )
 from .families import ShortcutProvider, provider_for
 from .graphs import Partition
+from .runtime import PASession
 
 __version__ = "1.0.0"
 
@@ -48,6 +53,7 @@ __all__ = [
     "MIN_TUPLE",
     "Network",
     "PAResult",
+    "PASession",
     "PASolver",
     "Partition",
     "PhaseStats",

@@ -33,6 +33,7 @@ from ..core.aggregation import MIN, MIN_TUPLE
 from ..core.no_leader import PASuperOps, _CrossProgram
 from ..core.pa import PASolver, RANDOMIZED
 from ..core.star_joining import compute_star_joining
+from ..runtime import PASession, ensure_session
 
 
 class _SpanExchangeProgram(Program):
@@ -122,9 +123,21 @@ def connected_dominating_set(
     mode: str = RANDOMIZED,
     seed: int = 0,
     solver: Optional[PASolver] = None,
+    session: Optional[PASession] = None,
+    shortcut_provider: Optional[object] = None,
+    family: Optional[str] = None,
 ) -> RunResult:
-    """Compute an O(log n)-approximate CDS; returns the node set."""
-    solver = solver or PASolver(net, mode=mode, seed=seed)
+    """Compute an O(log n)-approximate CDS; returns the node set.
+
+    The Boruvka-over-PA connection phase acquires PA through ``session``:
+    a reusing session coarsens across merge phases, and a batching one
+    folds the edge-pick and coin-spread aggregates into one wave pass.
+    """
+    session = ensure_session(
+        session, net, mode=mode, seed=seed, solver=solver,
+        shortcut_provider=shortcut_provider, family=family,
+    )
+    solver = session.solver
     ledger = CostLedger()
     ledger.merge(solver.tree_ledger, prefix="tree:")
     engine = solver.engine
@@ -152,12 +165,14 @@ def connected_dominating_set(
     rng = _random.Random(seed ^ 0xCD5)
     comp = list(cluster)
     cap = 4 * max(1, math.ceil(math.log2(max(2, n)))) + 8
+    prev_setup = None
     for _phase in range(cap):
         partition = partition_from_component_labels(comp)
         if partition.num_parts == 1:
             break
-        setup = solver.prepare(partition)
+        setup = session.prepare_incremental(prev_setup, partition)
         ledger.merge(setup.setup_ledger, prefix="cds_setup:")
+        prev_setup = setup
 
         values: List[object] = [None] * n
         for v in range(n):
@@ -167,15 +182,27 @@ def connected_dominating_set(
                 cand = (net.uid[v], net.uid[nb])
                 if values[v] is None or cand < values[v]:
                     values[v] = cand
-        picked = solver.solve(
-            setup, values, MIN_TUPLE, charge_setup=False,
-            phase_prefix="cds_pick",
-        )
-        ledger.merge(picked.ledger)
-
+        # Coins depend only on the part ids, so they are drawn up front
+        # (same independent-rng draw order as before) and their spread
+        # shares the pick's wave pass when the session batches.
         coins = {
             sid: rng.random() < 0.5 for sid in range(partition.num_parts)
         }
+        coin_values: List[object] = [
+            coins[partition.part_of[v]] * 1
+            if v == setup.leaders[partition.part_of[v]] else None
+            for v in range(n)
+        ]
+        batch = session.solve_many(
+            setup,
+            [(values, MIN_TUPLE), (coin_values, MIN)],
+            charge_setup=False,
+            phase_prefix="cds_pickcoins",
+            phase_prefixes=["cds_pick", "cds_coins"],
+        )
+        ledger.merge(batch.ledger)
+        picked = batch.per_agg[0]
+
         merged_any = False
         for sid in range(partition.num_parts):
             choice = picked.aggregates.get(sid)
@@ -193,16 +220,8 @@ def connected_dominating_set(
             for v in partition.members[sid]:
                 comp[v] = target_rep
             merged_any = True
-        # Coin spread + exchange accounting (one PA broadcast equivalent
-        # plus one round over chosen edges).
-        spread = solver.solve(
-            setup,
-            [coins[partition.part_of[v]] * 1 if v == setup.leaders[partition.part_of[v]] else None for v in range(n)],
-            MIN,
-            charge_setup=False,
-            phase_prefix="cds_coins",
-        )
-        ledger.merge(spread.ledger)
+        # Coin exchange accounting (one round over chosen edges; the coin
+        # spread itself ran with the pick above).
         ledger.charge_local("cds_coin_exchange", rounds=2,
                             messages=2 * partition.num_parts)
         if not merged_any:

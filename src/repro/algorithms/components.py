@@ -20,6 +20,7 @@ from ..congest.network import Network, canonical_edge
 from ..graphs.partitions import Partition, partition_from_component_labels
 from ..core.aggregation import MIN
 from ..core.pa import PASetup, PASolver, RANDOMIZED
+from ..runtime import PASession, ensure_session
 
 
 def components_partition(
@@ -58,17 +59,26 @@ def cc_labeling(
     mode: str = RANDOMIZED,
     seed: int = 0,
     solver: Optional[PASolver] = None,
+    session: Optional[PASession] = None,
+    shortcut_provider: Optional[object] = None,
+    family: Optional[str] = None,
 ) -> RunResult:
     """Label H-components with their minimum member uid, via one PA solve.
 
-    Returns labels per node in ``output`` (a list), with the PA setup kept
-    in ``meta`` for callers chaining further aggregations over the same
-    components (the verification suite does this heavily).
+    Returns labels per node in ``output`` (a list), with the PA setup and
+    session kept in ``meta`` for callers chaining further aggregations
+    over the same components (the verification suite does this heavily).
+    A reusing session also memoizes the setup on the component partition,
+    so repeated labelings of the same subgraph are construction-free.
     """
-    solver = solver or PASolver(net, mode=mode, seed=seed)
+    session = ensure_session(
+        session, net, mode=mode, seed=seed, solver=solver,
+        shortcut_provider=shortcut_provider, family=family,
+    )
+    solver = session.solver
     partition = components_partition(net, subgraph_edges)
-    setup = solver.prepare(partition)
-    result = solver.solve(
+    setup = session.prepare(partition)
+    result = session.solve(
         setup, [net.uid[v] for v in range(net.n)], MIN,
         phase_prefix="cc_label",
     )
@@ -79,5 +89,10 @@ def cc_labeling(
     return RunResult(
         output=labels,
         ledger=ledger,
-        meta={"setup": setup, "partition": partition, "solver": solver},
+        meta={
+            "setup": setup,
+            "partition": partition,
+            "solver": solver,
+            "session": session,
+        },
     )

@@ -28,6 +28,7 @@ from ..core.aggregation import MIN, MIN_TUPLE, SUM
 from ..core.no_leader import PASuperOps
 from ..core.pa import PASolver, RANDOMIZED
 from ..core.star_joining import SuperEdge, compute_star_joining
+from ..runtime import PASession, ensure_session
 
 
 def k_dominating_set(
@@ -36,15 +37,24 @@ def k_dominating_set(
     mode: str = RANDOMIZED,
     seed: int = 0,
     solver: Optional[PASolver] = None,
+    session: Optional[PASession] = None,
+    shortcut_provider: Optional[object] = None,
+    family: Optional[str] = None,
 ) -> RunResult:
     """Compute a k-dominating set of size at most ~6n/k, via PA merging.
 
     Returns the set of cluster-leader nodes; ``meta`` carries the final
-    cluster assignment so callers (and tests) can check the radius.
+    cluster assignment so callers (and tests) can check the radius.  With
+    a reusing session, each star-joining round coarsens the previous
+    round's PA machinery instead of rebuilding it.
     """
     if k < 1:
         raise ValueError("k must be positive")
-    solver = solver or PASolver(net, mode=mode, seed=seed)
+    session = ensure_session(
+        session, net, mode=mode, seed=seed, solver=solver,
+        shortcut_provider=shortcut_provider, family=family,
+    )
+    solver = session.solver
     ledger = CostLedger()
     ledger.merge(solver.tree_ledger, prefix="tree:")
     n = net.n
@@ -57,13 +67,17 @@ def k_dominating_set(
     complete: Set[int] = set()               # cluster rep nodes done growing
 
     cap = 3 * max(1, math.ceil(math.log2(max(2, n)))) + 8
+    prev_setup = None
     for _iteration in range(cap):
         partition = partition_from_component_labels(coarse)
         leaders = [leader_of[members[0]] for members in partition.members]
-        setup = solver.prepare(partition, leaders=leaders)
+        setup = session.prepare_incremental(
+            prev_setup, partition, leaders=leaders
+        )
         ledger.merge(setup.setup_ledger, prefix="kdom_setup:")
+        prev_setup = setup
 
-        sizes = solver.solve(
+        sizes = session.solve(
             setup, [1] * n, SUM, charge_setup=False, phase_prefix="kdom_size"
         )
         ledger.merge(sizes.ledger)
@@ -93,7 +107,7 @@ def k_dominating_set(
                 cand = (net.uid[v], net.uid[nb])
                 if pick_values[v] is None or cand < pick_values[v]:
                     pick_values[v] = cand
-        picked = solver.solve(
+        picked = session.solve(
             setup, pick_values, MIN_TUPLE, charge_setup=False,
             phase_prefix="kdom_pick",
         )

@@ -36,6 +36,7 @@ from ..congest.network import Network, canonical_edge
 from ..core.aggregation import SUM, Aggregation
 from ..core.pa import PASolver, RANDOMIZED
 from ..core.queued import QueuedProgram
+from ..runtime import PASession, ensure_session
 from ..core.treeops import broadcast as tree_broadcast
 from ..core.trees import ABSENT, ROOT, RootedForest
 from .mst import minimum_spanning_tree
@@ -230,17 +231,31 @@ def approx_min_cut(
     seed: int = 0,
     solver: Optional[PASolver] = None,
     max_trees: Optional[int] = None,
+    session: Optional[PASession] = None,
+    shortcut_provider: Optional[object] = None,
+    family: Optional[str] = None,
 ) -> RunResult:
     """(1+eps)-approximate min cut; every node learns its side.
 
     Returns ``output = (cut_value, side)`` where ``side`` is a 0/1 list
     per node (1 = inside the cut-defining subtree).
+
+    The tree-packing loop is k full MST builds over reweighted copies of
+    the same topology; with a *reusing* session all k share one BFS tree,
+    one singleton-partition setup (a fingerprint cache hit from the
+    second tree on), and per-phase coarsening inside each Boruvka run.
+    Without one, each packing constructs its own pipeline — the
+    historical behavior, bit for bit.
     """
     if net.weights is None:
         raise ValueError("min-cut requires a weighted network")
     if epsilon <= 0:
         raise ValueError("epsilon must be positive")
-    solver = solver or PASolver(net, mode=mode, seed=seed)
+    session = ensure_session(
+        session, net, mode=mode, seed=seed, solver=solver,
+        shortcut_provider=shortcut_provider, family=family,
+    )
+    solver = session.solver
     ledger = CostLedger()
     ledger.merge(solver.tree_ledger, prefix="tree:")
 
@@ -266,9 +281,17 @@ def approx_min_cut(
         packed = Network(
             net.edges, n=net.n, weights=packed_weights,
         )
-        mst = minimum_spanning_tree(
-            packed, mode=mode, seed=seed + t, solver=None
-        )
+        if session.reuse or session.batch:
+            # Same topology and uid permutation, different weights: the
+            # session's tree, engine and memoized setups carry over.
+            mst = minimum_spanning_tree(
+                packed, mode=mode, seed=seed + t, session=session
+            )
+        else:
+            mst = minimum_spanning_tree(
+                packed, mode=mode, seed=seed + t, solver=None,
+                shortcut_provider=session.shortcut_provider,
+            )
         ledger.merge(mst.ledger, prefix=f"pack{t}:")
         tree_edges = set(mst.output)
         for e in tree_edges:

@@ -20,6 +20,13 @@ Two merging disciplines, both controlling fragment-chain formation:
 An MOE is added to the tree exactly when its fragment merges along it, so
 the output has exactly n-1 edges and equals the (unique, under distinct
 weights) MST — verified against Kruskal in the tests.
+
+PA is acquired through a :class:`~repro.runtime.PASession`: with its
+opt-ins off (the default) every phase prepares and solves exactly as the
+historical code did, bit for bit; with ``reuse`` on, each Boruvka merge
+*coarsens* the previous phase's division and shortcut instead of
+rebuilding, and with ``batch`` on, the MOE and coin aggregates share one
+wave pass per phase.
 """
 
 from __future__ import annotations
@@ -38,6 +45,7 @@ from ..core.pa import DETERMINISTIC, PASolver, RANDOMIZED
 from ..core.star_joining import SuperEdge, compute_star_joining
 from ..core.treeops import broadcast as tree_broadcast
 from ..core.treeops import convergecast as tree_convergecast
+from ..runtime import PASession, ensure_session
 
 COIN = "coin"
 STAR = "star"
@@ -46,14 +54,26 @@ STAR = "star"
 def _moe_values(
     net: Network, comp: Sequence[int]
 ) -> List[Optional[Tuple[int, int, int]]]:
-    """Per-node candidate MOE: min (weight, uid_v, uid_nb) over out-edges."""
+    """Per-node candidate MOE: min (weight, uid_v, uid_nb) over out-edges.
+
+    Walks the raw CSR arrays — this runs once per Boruvka phase over every
+    edge, and the flat slices skip the lazily materialized ``neighbors``
+    view (the adjacency order is the same, so the chosen tuples are
+    identical).
+    """
+    offsets, adj = net.adjacency_csr()
+    uid = net.uid
+    weight = net.weight
     values: List[Optional[Tuple[int, int, int]]] = [None] * net.n
     for v in range(net.n):
         best = None
-        for nb in net.neighbors[v]:
-            if comp[nb] == comp[v]:
+        my_comp = comp[v]
+        my_uid = uid[v]
+        for i in range(offsets[v], offsets[v + 1]):
+            nb = adj[i]
+            if comp[nb] == my_comp:
                 continue
-            cand = (net.weight(v, nb), net.uid[v], net.uid[nb])
+            cand = (weight(v, nb), my_uid, uid[nb])
             if best is None or cand < best:
                 best = cand
         values[v] = best
@@ -67,17 +87,27 @@ def minimum_spanning_tree(
     merging: Optional[str] = None,
     solver: Optional[PASolver] = None,
     max_phases: Optional[int] = None,
+    session: Optional[PASession] = None,
+    shortcut_provider: Optional[object] = None,
+    family: Optional[str] = None,
 ) -> RunResult:
     """Distributed MST; returns the edge set with a fully metered ledger.
 
     The network must be connected and weighted.  ``merging`` defaults to
     coin flips in randomized mode and star joinings in deterministic mode.
+    PA is acquired through ``session`` (see :class:`repro.runtime.PASession`
+    for the reuse/batch opt-ins); ``shortcut_provider``/``family`` select a
+    family-aware shortcut construction for every phase's pipeline.
     """
     if net.weights is None:
         raise ValueError("MST requires a weighted network")
     if merging is None:
         merging = COIN if mode == RANDOMIZED else STAR
-    solver = solver or PASolver(net, mode=mode, seed=seed)
+    session = ensure_session(
+        session, net, mode=mode, seed=seed, solver=solver,
+        shortcut_provider=shortcut_provider, family=family,
+    )
+    solver = session.solver
     rng = random.Random(seed ^ 0xB0B)
     ledger = CostLedger()
     ledger.merge(solver.tree_ledger, prefix="tree:")
@@ -90,6 +120,7 @@ def minimum_spanning_tree(
     if max_phases is None:
         max_phases = 4 * max(1, math.ceil(math.log2(max(2, n)))) + 8
 
+    prev_setup = None
     for phase in range(1, max_phases + 1):
         partition = partition_from_component_labels(comp)
         if partition.num_parts == 1:
@@ -100,14 +131,37 @@ def minimum_spanning_tree(
         # (one announce round; the PA input knowledge of Definition 1.1).
         ledger.charge_local("mst_neighbor_exchange", rounds=1, messages=2 * net.m)
 
-        setup = solver.prepare(partition, leaders=leaders)
+        setup = session.prepare_incremental(prev_setup, partition, leaders=leaders)
         ledger.merge(setup.setup_ledger, prefix=f"phase{phase}_setup:")
+        prev_setup = setup
 
-        moe = solver.solve(
-            setup, _moe_values(net, comp), MIN_TUPLE, charge_setup=False,
-            phase_prefix=f"phase{phase}_moe",
-        )
-        ledger.merge(moe.ledger)
+        if merging == COIN:
+            # Coins depend only on the fragment ids, so they are drawn
+            # before the solves and their broadcast shares the MOE's wave
+            # pass when the session batches (drawn from an independent
+            # rng, so the draw order matches the historical code).
+            coins = {
+                sid: rng.random() < 0.5 for sid in range(partition.num_parts)
+            }
+            coin_values: List[object] = [None] * n
+            for sid in range(partition.num_parts):
+                coin_values[setup.leaders[sid]] = 1 if coins[sid] else 0
+            batch = session.solve_many(
+                setup,
+                [(_moe_values(net, comp), MIN_TUPLE), (coin_values, MIN)],
+                charge_setup=False,
+                phase_prefix=f"phase{phase}_moecoins",
+                phase_prefixes=[f"phase{phase}_moe", f"phase{phase}_coins"],
+            )
+            ledger.merge(batch.ledger)
+            moe = batch.per_agg[0]
+        else:
+            coins = None
+            moe = session.solve(
+                setup, _moe_values(net, comp), MIN_TUPLE, charge_setup=False,
+                phase_prefix=f"phase{phase}_moe",
+            )
+            ledger.merge(moe.ledger)
 
         chosen: Dict[int, SuperEdge] = {}
         for sid, choice in moe.aggregates.items():
@@ -122,7 +176,7 @@ def minimum_spanning_tree(
 
         if merging == COIN:
             merges = _coin_merges(
-                solver, setup, partition, chosen, rng, ledger, phase
+                solver, setup, partition, chosen, coins, ledger
             )
         else:
             merges = _star_merges(solver, setup, partition, chosen, ledger)
@@ -145,7 +199,7 @@ def minimum_spanning_tree(
         mark.name = "mst_mark"
         ledger.charge(solver.engine.run(mark, max_ticks=2))
 
-        relabel = solver.solve(
+        relabel = session.solve(
             setup, relabel_values, MIN, charge_setup=False,
             phase_prefix=f"phase{phase}_relabel",
         )
@@ -189,27 +243,17 @@ def _coin_merges(
     setup,
     partition: Partition,
     chosen: Dict[int, SuperEdge],
-    rng: random.Random,
+    coins: Dict[int, bool],
     ledger: CostLedger,
-    phase: int,
 ) -> Dict[int, int]:
     """Coin-flip symmetry breaking: tails merge into heads they point at.
 
-    Leaders flip; one PA broadcast spreads each fragment's coin to all
-    members; a two-round exchange over MOE edges tells each tail endpoint
-    its target's coin.  Returns {merging sid: target sid}.
+    The coins were already drawn and PA-broadcast alongside the MOE solve
+    (sharing its wave pass when the session batches); what remains is the
+    two-round exchange over MOE edges telling each tail endpoint its
+    target's coin.  Returns {merging sid: target sid}.
     """
     net = solver.net
-    coins = {sid: rng.random() < 0.5 for sid in range(partition.num_parts)}
-
-    values: List[object] = [None] * net.n
-    for sid in range(partition.num_parts):
-        values[setup.leaders[sid]] = 1 if coins[sid] else 0
-    spread = solver.solve(
-        setup, values, MIN, charge_setup=False,
-        phase_prefix=f"phase{phase}_coins",
-    )
-    ledger.merge(spread.ledger)
 
     # MOE endpoints exchange coins across the chosen edges (both endpoints
     # already know their own fragment's coin from the broadcast).  Mutual

@@ -32,6 +32,7 @@ from ..congest.ledger import CostLedger, RunResult
 from ..congest.network import Network, canonical_edge
 from ..core.pa import PASolver, RANDOMIZED
 from ..core.trees import ABSENT, ROOT, RootedForest
+from ..runtime import PASession, ensure_session
 from .mst import minimum_spanning_tree
 
 
@@ -119,23 +120,32 @@ def approx_sssp(
     seed: int = 0,
     solver: Optional[PASolver] = None,
     tree_edges: Optional[Set[Tuple[int, int]]] = None,
+    session: Optional[PASession] = None,
+    shortcut_provider: Optional[object] = None,
+    family: Optional[str] = None,
 ) -> RunResult:
     """Approximate SSSP: every node learns ``dv >= d(s, v)``.
 
     ``beta`` controls the tradeoff: the Bellman-Ford horizon is
     ``ceil(1/beta)`` hops.  ``tree_edges`` lets callers amortize one MST
-    across many sources; otherwise the MST is built (and charged) here.
+    across many sources; otherwise the MST is built (and charged) here —
+    through ``session``, so its Boruvka phases coarsen/batch when the
+    session opts in.
     """
     if net.weights is None:
         raise ValueError("SSSP requires a weighted network")
     if not 0 < beta <= 1:
         raise ValueError("beta must be in (0, 1]")
-    solver = solver or PASolver(net, mode=mode, seed=seed)
+    session = ensure_session(
+        session, net, mode=mode, seed=seed, solver=solver,
+        shortcut_provider=shortcut_provider, family=family,
+    )
+    solver = session.solver
     ledger = CostLedger()
     ledger.merge(solver.tree_ledger, prefix="tree:")
 
     if tree_edges is None:
-        mst = minimum_spanning_tree(net, mode=mode, seed=seed, solver=solver)
+        mst = minimum_spanning_tree(net, mode=mode, seed=seed, session=session)
         ledger.merge(mst.ledger, prefix="mst:")
         tree_edges = set(mst.output)
 

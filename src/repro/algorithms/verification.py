@@ -25,6 +25,7 @@ from ..congest.ledger import CostLedger, RunResult
 from ..congest.network import Network, canonical_edge
 from ..core.aggregation import OR, SUM
 from ..core.pa import PASolver, RANDOMIZED
+from ..runtime import PASession, ensure_session
 from ..core.treeops import broadcast as tree_broadcast
 from ..core.treeops import claim_bfs
 from ..core.treeops import convergecast as tree_convergecast
@@ -45,8 +46,11 @@ def _global_sum(solver: PASolver, values: List[object], ledger: CostLedger,
     return total
 
 
-def _labels_and_ledger(net, subgraph_edges, mode, seed, solver):
-    run = cc_labeling(net, subgraph_edges, mode=mode, seed=seed, solver=solver)
+def _labels_and_ledger(net, subgraph_edges, mode, seed, solver, session=None):
+    run = cc_labeling(
+        net, subgraph_edges, mode=mode, seed=seed, solver=solver,
+        session=session,
+    )
     return run.output, run.ledger, run.meta["solver"]
 
 
@@ -56,6 +60,7 @@ def verify_connectivity(
     mode: str = RANDOMIZED,
     seed: int = 0,
     solver: Optional[PASolver] = None,
+    session: Optional[PASession] = None,
 ) -> RunResult:
     """Is H connected (as a spanning subgraph over all of V)?
 
@@ -63,7 +68,7 @@ def verify_connectivity(
     global sum: H is connected iff the count is one.
     """
     labels, ledger, solver = _labels_and_ledger(
-        net, subgraph_edges, mode, seed, solver
+        net, subgraph_edges, mode, seed, solver, session=session
     )
     leader_flags = [1 if labels[v] == net.uid[v] else 0 for v in range(net.n)]
     count = _global_sum(solver, leader_flags, ledger, "connectivity_count")
@@ -79,6 +84,7 @@ def verify_st_connectivity(
     mode: str = RANDOMIZED,
     seed: int = 0,
     solver: Optional[PASolver] = None,
+    session: Optional[PASession] = None,
 ) -> RunResult:
     """Are s and t in the same H-component?
 
@@ -86,7 +92,7 @@ def verify_st_connectivity(
     the root compares and broadcasts the verdict.
     """
     labels, ledger, solver = _labels_and_ledger(
-        net, subgraph_edges, mode, seed, solver
+        net, subgraph_edges, mode, seed, solver, session=session
     )
     values: List[object] = [None] * net.n
     values[s] = ("s", labels[s])
@@ -140,6 +146,8 @@ def verify_cut(
     cut_edges: Sequence[Tuple[int, int]],
     mode: str = RANDOMIZED,
     seed: int = 0,
+    solver: Optional[PASolver] = None,
+    session: Optional[PASession] = None,
 ) -> RunResult:
     """Does removing ``cut_edges`` disconnect the network?
 
@@ -147,7 +155,9 @@ def verify_cut(
     """
     removed = {canonical_edge(u, v) for u, v in cut_edges}
     rest = [e for e in net.edges if e not in removed]
-    inner = verify_connectivity(net, rest, mode=mode, seed=seed)
+    inner = verify_connectivity(
+        net, rest, mode=mode, seed=seed, solver=solver, session=session
+    )
     return RunResult(
         output=not inner.output, ledger=inner.ledger, meta=inner.meta
     )
@@ -160,11 +170,15 @@ def verify_st_cut(
     t: int,
     mode: str = RANDOMIZED,
     seed: int = 0,
+    solver: Optional[PASolver] = None,
+    session: Optional[PASession] = None,
 ) -> RunResult:
     """Does removing ``cut_edges`` separate s from t?"""
     removed = {canonical_edge(u, v) for u, v in cut_edges}
     rest = [e for e in net.edges if e not in removed]
-    inner = verify_st_connectivity(net, rest, s, t, mode=mode, seed=seed)
+    inner = verify_st_connectivity(
+        net, rest, s, t, mode=mode, seed=seed, solver=solver, session=session
+    )
     return RunResult(
         output=not inner.output, ledger=inner.ledger, meta=inner.meta
     )
@@ -175,15 +189,18 @@ def verify_spanning_tree(
     subgraph_edges: Sequence[Tuple[int, int]],
     mode: str = RANDOMIZED,
     seed: int = 0,
+    solver: Optional[PASolver] = None,
+    session: Optional[PASession] = None,
 ) -> RunResult:
     """Is H a spanning tree: connected over V with exactly n - 1 edges?
 
     The edge count is a global half-degree sum; connectivity reuses the
     same labeling run.
     """
-    solver = PASolver(net, mode=mode, seed=seed)
+    session = ensure_session(session, net, mode=mode, seed=seed, solver=solver)
+    solver = session.solver
     conn = verify_connectivity(
-        net, subgraph_edges, mode=mode, seed=seed, solver=solver
+        net, subgraph_edges, mode=mode, seed=seed, session=session
     )
     degree = [0] * net.n
     for u, v in subgraph_edges:
@@ -202,28 +219,33 @@ def verify_cycle_containment(
     subgraph_edges: Sequence[Tuple[int, int]],
     mode: str = RANDOMIZED,
     seed: int = 0,
+    solver: Optional[PASolver] = None,
+    session: Optional[PASession] = None,
 ) -> RunResult:
     """Does H contain a cycle?  (Some component has >= as many edges as nodes.)
 
     Per-component node and edge counts are two PA sums over the component
-    partition; each node contributes half its H-degree to the edge sum.
+    partition — one shared wave pass when the session batches; each node
+    contributes half its H-degree to the edge sum.
     """
-    solver = PASolver(net, mode=mode, seed=seed)
-    run = cc_labeling(net, subgraph_edges, mode=mode, seed=seed, solver=solver)
+    session = ensure_session(session, net, mode=mode, seed=seed, solver=solver)
+    solver = session.solver
+    run = cc_labeling(net, subgraph_edges, mode=mode, seed=seed, session=session)
     setup = run.meta["setup"]
 
-    node_counts = solver.solve(
-        setup, [1] * net.n, SUM, charge_setup=False, phase_prefix="cyc_nodes"
-    )
-    run.ledger.merge(node_counts.ledger)
     degree = [0] * net.n
     for u, v in subgraph_edges:
         degree[u] += 1
         degree[v] += 1
-    edge_counts = solver.solve(
-        setup, degree, SUM, charge_setup=False, phase_prefix="cyc_edges"
+    counts = session.solve_many(
+        setup,
+        [([1] * net.n, SUM), (degree, SUM)],
+        charge_setup=False,
+        phase_prefix="cyc_counts",
+        phase_prefixes=["cyc_nodes", "cyc_edges"],
     )
-    run.ledger.merge(edge_counts.ledger)
+    run.ledger.merge(counts.ledger)
+    node_counts, edge_counts = counts.per_agg
 
     has_cycle_flags = [0] * net.n
     for pid in range(setup.partition.num_parts):
@@ -242,6 +264,8 @@ def verify_bipartiteness(
     subgraph_edges: Sequence[Tuple[int, int]],
     mode: str = RANDOMIZED,
     seed: int = 0,
+    solver: Optional[PASolver] = None,
+    session: Optional[PASession] = None,
 ) -> RunResult:
     """Is H bipartite?
 
@@ -250,8 +274,9 @@ def verify_bipartiteness(
     cover); every H-edge then checks its endpoints' parities in one round,
     and a global OR reports any conflict.
     """
-    solver = PASolver(net, mode=mode, seed=seed)
-    run = cc_labeling(net, subgraph_edges, mode=mode, seed=seed, solver=solver)
+    session = ensure_session(session, net, mode=mode, seed=seed, solver=solver)
+    solver = session.solver
+    run = cc_labeling(net, subgraph_edges, mode=mode, seed=seed, session=session)
     labels = run.output
 
     edge_set = {canonical_edge(u, v) for u, v in subgraph_edges}

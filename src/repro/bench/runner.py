@@ -25,6 +25,10 @@ order: experiments are always emitted sorted by file name, in definition
 order within a file (identical to the serial sweep).  Wall times remain
 per-experiment measurements inside the worker; only scheduling changes.
 
+``--only`` filters the sweep to matching bench files: shell-glob
+matching when the value contains a metacharacter (``--only
+'bench_cor1*'``), plain substring otherwise (``--only scaling``).
+
 Regression gate: ``--check-against BASELINE.json`` compares every
 experiment's ledger ``rounds`` / ``messages`` against the baseline and
 exits non-zero on any difference.  Wall times are never gated — they are
@@ -41,6 +45,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import importlib.util
 import inspect
 import io
@@ -128,6 +133,21 @@ class ExperimentResult:
 def discover_bench_files(bench_dir: Path) -> List[Path]:
     """All ``bench_*.py`` files in ``bench_dir``, sorted by name."""
     return sorted(bench_dir.glob("bench_*.py"))
+
+
+def only_matches(only: Optional[str], file_name: str) -> bool:
+    """Does a bench file fall inside the ``--only`` filter?
+
+    ``only`` is a shell-style glob matched against the file name (a bare
+    ``*``-free string keeps the historical substring behavior, so
+    ``--only scaling`` and ``--only 'bench_scal*'`` both select
+    ``bench_scaling.py``).  ``None`` selects everything.
+    """
+    if not only:
+        return True
+    if any(ch in only for ch in "*?["):
+        return fnmatch.fnmatch(file_name, only)
+    return only in file_name
 
 
 def load_bench_module(path: Path):
@@ -263,7 +283,7 @@ def run_all(
     """
     paths = [
         path for path in discover_bench_files(bench_dir)
-        if not only or only in path.name
+        if only_matches(only, path.name)
     ]
     if jobs > 1 and len(paths) > 1:
         from concurrent.futures import ProcessPoolExecutor
@@ -368,7 +388,7 @@ def check_against_baseline(
     baseline = json.loads(baseline_path.read_text())
     base_map = {
         (e["file"], e["name"]): e for e in baseline.get("experiments", [])
-        if not only or only in e["file"]
+        if only_matches(only, e["file"])
     }
     problems: List[str] = []
     seen = set()
@@ -427,7 +447,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--only", default=None,
-        help="run only bench files whose name contains this substring",
+        help="run only matching bench files: a shell glob when the value "
+        "contains *?[ (e.g. 'bench_cor1*'), else a name substring",
     )
     parser.add_argument(
         "--verbose", action="store_true",

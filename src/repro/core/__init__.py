@@ -28,14 +28,17 @@ from .corefast import (
 )
 from .pa import (
     DETERMINISTIC,
+    PABatchResult,
     PAResult,
     PASetup,
     PASolver,
     RANDOMIZED,
+    product_aggregation,
     solve_pa,
 )
 from .shortcuts import (
     Shortcut,
+    coarsen_shortcut,
     empty_shortcut,
     full_tree_shortcut,
     shortcut_hint_for_family,
@@ -61,7 +64,7 @@ from .trees import (
     forest_from_parent_map,
     spanning_forest_of_subsets,
 )
-from .wave import PAWaveResult, run_pa_waves
+from .wave import PAWaveResult, compute_wave_boundary, run_pa_waves
 
 __all__ = [
     "ABSENT",
@@ -75,6 +78,7 @@ __all__ = [
     "MIN",
     "MIN_TUPLE",
     "OR",
+    "PABatchResult",
     "PAResult",
     "PASetup",
     "PASolver",
@@ -94,6 +98,8 @@ __all__ = [
     "build_shortcut_randomized",
     "build_subpart_division_randomized",
     "claim_bfs",
+    "coarsen_shortcut",
+    "compute_wave_boundary",
     "convergecast",
     "diameter_upper_bound",
     "division_from_groups",
@@ -101,6 +107,7 @@ __all__ = [
     "empty_shortcut",
     "forest_from_parent_map",
     "full_tree_shortcut",
+    "product_aggregation",
     "run_pa_waves",
     "shortcut_hint_for_family",
     "solve_pa",

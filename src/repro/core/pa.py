@@ -75,6 +75,50 @@ class PAResult:
         return self.ledger.messages
 
 
+@dataclass
+class PABatchResult:
+    """Outcome of a multi-aggregate solve (:meth:`PASolver.solve_many`).
+
+    ``per_agg[k]`` holds the k-th aggregation's per-part aggregates and
+    per-node values.  ``ledger`` carries the *whole batch's* metered cost
+    exactly once; when the batch ran in one wave pass the per-result
+    ledgers are the same object, so merge ``ledger`` once — never each
+    ``per_agg[k].ledger``.
+    """
+
+    per_agg: List[PAResult]
+    ledger: CostLedger
+    setup: PASetup
+    batched: bool
+
+    @property
+    def rounds(self) -> int:
+        return self.ledger.rounds
+
+    @property
+    def messages(self) -> int:
+        return self.ledger.messages
+
+
+def product_aggregation(aggs: Sequence[Aggregation]) -> Aggregation:
+    """Componentwise product of aggregations over equal-length tuples.
+
+    Components may be ``None`` ("no value yet" for that aggregate at that
+    node); the product merges each slot with its aggregation's None-aware
+    ``merge``.  Commutativity/associativity follow componentwise from the
+    factors'.
+    """
+    agg_tuple = tuple(aggs)
+
+    def combine(a, b):
+        return tuple(
+            agg.merge(x, y) for agg, x, y in zip(agg_tuple, a, b)
+        )
+
+    name = "batch(" + ",".join(agg.name for agg in agg_tuple) + ")"
+    return Aggregation(name, combine)
+
+
 class PASolver:
     """Round- and message-optimal Part-Wise Aggregation (Theorem 1.2).
 
@@ -238,6 +282,87 @@ class PASolver:
             value_at_node=outcome.value_at_node,
             ledger=ledger,
             setup=setup,
+        )
+
+    def solve_many(
+        self,
+        setup: PASetup,
+        items: Sequence[Tuple[Sequence[object], Aggregation]],
+        charge_setup: bool = True,
+        phase_prefix: str = "pa_batch",
+        phase_prefixes: Optional[Sequence[str]] = None,
+        batched: bool = True,
+    ) -> PABatchResult:
+        """Solve ``k`` aggregations over one setup.
+
+        ``items`` is a sequence of ``(values, agg)`` pairs.  With
+        ``batched=True`` (default) all ``k`` aggregates run in a *single*
+        wave pass: node values are packed into k-tuples, merged
+        componentwise, and unpacked per aggregation — one broadcast, one
+        reversal, one replay, so rounds and messages are those of one
+        solve instead of k.  This models messages of ``k`` O(log n)-bit
+        words, which stays inside the CONGEST license for constant k (see
+        docs/architecture.md, "Runtime sessions", for when that is
+        ledger-legitimate).
+
+        With ``batched=False`` the items are solved sequentially — the
+        exact calls (same order, same phase names via ``phase_prefixes``)
+        a caller would have made by hand, so ledgers are bit-for-bit
+        identical to the unbatched code path.  Setup cost is charged at
+        most once in either case.
+        """
+        if phase_prefixes is not None and len(phase_prefixes) != len(items):
+            raise ValueError("phase_prefixes must match items in length")
+        if not items:
+            raise ValueError("solve_many requires at least one aggregation")
+
+        if not batched or len(items) == 1:
+            ledger = CostLedger()
+            per_agg: List[PAResult] = []
+            for k, (values, agg) in enumerate(items):
+                prefix = (
+                    phase_prefixes[k] if phase_prefixes is not None
+                    else f"{phase_prefix}{k}"
+                )
+                result = self.solve(
+                    setup, values, agg,
+                    charge_setup=charge_setup and k == 0,
+                    phase_prefix=prefix,
+                )
+                ledger.merge(result.ledger)
+                per_agg.append(result)
+            return PABatchResult(
+                per_agg=per_agg, ledger=ledger, setup=setup, batched=False
+            )
+
+        aggs = [agg for _values, agg in items]
+        combined_values = list(zip(*(values for values, _agg in items)))
+        combined = self.solve(
+            setup, combined_values, product_aggregation(aggs),
+            charge_setup=charge_setup, phase_prefix=phase_prefix,
+        )
+        k = len(items)
+        per_agg = []
+        for idx in range(k):
+            aggregates = {
+                pid: (value[idx] if value is not None else None)
+                for pid, value in combined.aggregates.items()
+            }
+            value_at_node = [
+                (value[idx] if value is not None else None)
+                for value in combined.value_at_node
+            ]
+            per_agg.append(
+                PAResult(
+                    aggregates=aggregates,
+                    value_at_node=value_at_node,
+                    ledger=combined.ledger,
+                    setup=setup,
+                )
+            )
+        return PABatchResult(
+            per_agg=per_agg, ledger=combined.ledger, setup=setup,
+            batched=True,
         )
 
 

@@ -248,6 +248,35 @@ def star_shortcut_for_parts(
     return Shortcut(tree, partition, up)
 
 
+def coarsen_shortcut(
+    shortcut: Shortcut,
+    new_partition: Partition,
+    pid_map: Sequence[int],
+) -> Shortcut:
+    """Project a shortcut onto a coarsening of its partition.
+
+    ``pid_map[old_pid] = new_pid`` must describe a merge-only coarsening
+    (every old part maps into exactly one new part).  The coarsened
+    shortcut is ``H'_j = union of H_i over old parts i mapping to j`` —
+    node-locally this is just relabeling each ``up_parts`` entry, which is
+    how the distributed counterpart works too: a node relabels the part
+    ids on its parent edge when its part learns its new identity, at no
+    extra communication (the relabel broadcast carries the id anyway).
+
+    Congestion can only shrink (relabeled sets dedupe); the block
+    parameter of a merged part can grow up to the sum of its
+    constituents', which is why the runtime session *re-verifies* the
+    coarsened quality with PA itself before adopting it (Algorithm 2, the
+    paper's own device) and falls back to a fresh construction when the
+    verified block count exceeds the budget.
+    """
+    up = [
+        frozenset(pid_map[pid] for pid in parts) if parts else frozenset()
+        for parts in shortcut.up_parts
+    ]
+    return Shortcut(shortcut.tree, new_partition, up)
+
+
 def validate_shortcut(shortcut: Shortcut) -> None:
     """Check Definition 2.2 invariants; raise on violation.
 

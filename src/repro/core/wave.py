@@ -62,6 +62,43 @@ from .subparts import SubPartDivision
 from .trees import ROOT
 
 
+def compute_wave_boundary(
+    net: Network, partition: Partition, division: SubPartDivision
+) -> List[Tuple[int, ...]]:
+    """Per node: in-part neighbors that are not sub-part tree neighbors.
+
+    These are the candidate boundary edges of Algorithm 1 line 15.  The
+    structure depends only on (network, partition, division), so it is
+    computed once per division and cached on it
+    (``division._wave_boundary_cache``); every wave over the division —
+    the verify and solve waves, and any number of session-level solves —
+    shares the one list.  The runtime session's coarsening path
+    (:mod:`repro.runtime`) updates the cache *incrementally* when parts
+    merge instead of re-running this O(n + m) pass.
+    """
+    cached = getattr(division, "_wave_boundary_cache", None)
+    if cached is not None:
+        return cached
+    part_of = partition.part_of
+    forest_parent = division.forest.parent
+    forest_children = division.forest.children
+    boundary: List[Tuple[int, ...]] = []
+    for v in range(net.n):
+        tree_nbrs = set(forest_children[v])
+        if forest_parent[v] >= 0:
+            tree_nbrs.add(forest_parent[v])
+        my_part = part_of[v]
+        boundary.append(
+            tuple(
+                nb
+                for nb in net.neighbors[v]
+                if part_of[nb] == my_part and nb not in tree_nbrs
+            )
+        )
+    division._wave_boundary_cache = boundary
+    return boundary
+
+
 @dataclass
 class WaveRecord:
     """What the broadcast learned, for reversal and replay.
@@ -128,31 +165,11 @@ class WaveProgram(QueuedProgram):
         # identity-keyed bit-budget cache hit on every hop.
         self._payload_memo: Dict[Tuple[str, int], Tuple[str, int, object]] = {}
         self._prio_memo: Dict[Tuple[int, int], Tuple[int, int]] = {}
-        # In-part neighbors that are not sub-part tree neighbors, per node:
-        # the candidate boundary edges of line 15.  Purely structural
-        # (network + partition + division), so it is computed once per
-        # division and shared by every wave over it (verification and
-        # solve waves reuse the same division).
-        boundary = getattr(division, "_wave_boundary_cache", None)
-        if boundary is None:
-            part_of = self.part_of
-            forest_parent = self.forest.parent
-            forest_children = self.forest.children
-            boundary = []
-            for v in range(n):
-                tree_nbrs = set(forest_children[v])
-                if forest_parent[v] >= 0:
-                    tree_nbrs.add(forest_parent[v])
-                my_part = part_of[v]
-                boundary.append(
-                    tuple(
-                        nb
-                        for nb in net.neighbors[v]
-                        if part_of[nb] == my_part and nb not in tree_nbrs
-                    )
-                )
-            division._wave_boundary_cache = boundary
-        self._boundary: List[Tuple[int, ...]] = boundary
+        # The candidate boundary edges of line 15, cached per division
+        # (see compute_wave_boundary).
+        self._boundary: List[Tuple[int, ...]] = compute_wave_boundary(
+            net, partition, division
+        )
 
     # ------------------------------------------------------------------
     # Recording helpers

@@ -1,0 +1,505 @@
+"""The PA session: cross-phase reuse of the Theorem 1.2 pipeline.
+
+Every application in the paper (Corollaries 1.3-1.5, A.1-A.3) is a loop of
+Part-Wise Aggregation solves, yet a bare :class:`~repro.core.pa.PASolver`
+treats each ``prepare`` as a one-shot: Boruvka's O(log n) phases rebuild
+the sub-part division and the shortcut from scratch every time the
+partition changes.  :class:`PASession` owns a solver (network, mode, seed,
+ledger conventions, optional family-aware shortcut provider) and adds
+three opt-in capabilities on top:
+
+* **Setup caching** (``reuse=True``): ``prepare`` memoizes on a partition
+  fingerprint ``(part_of, leaders)``.  Re-preparing an already-seen
+  partition (e.g. a Boruvka phase whose coins produced no merges, or the
+  k-th tree packing of min-cut starting from the same singleton
+  partition) returns the cached setup with an empty setup ledger —
+  amortization made explicit rather than re-charged.
+
+* **Incremental coarsening** (``reuse=True``): when a partition is a
+  merge-only coarsening of a prepared one, ``prepare_incremental``
+  *projects* the previous phase's machinery instead of rebuilding — the
+  sub-part forest is kept (old sub-parts still refine the merged parts),
+  shortcut edge sets are unioned by part relabeling
+  (:func:`~repro.core.shortcuts.coarsen_shortcut`), the wave boundary
+  lists grow only at former part borders, and blocks are re-annotated
+  distributively.  Quality is then *re-verified with PA itself*
+  (Algorithm 2 — the paper's own trick for checking block parameters);
+  a coarsened shortcut whose verified block count exceeds the budget is
+  discarded for a fresh construction, so reuse can cost rounds but never
+  correctness.
+
+* **Batched multi-aggregate solves** (``batch=True``):
+  :meth:`solve_many` runs k aggregations over one setup in a single wave
+  pass (k-tuple values, componentwise merge) — one broadcast/reversal/
+  replay instead of k.  See docs/architecture.md ("Runtime sessions")
+  for when that is ledger-legitimate.
+
+With both flags off (the default) every call delegates verbatim to the
+underlying solver: same code path, same randomness, same ledger entries,
+bit for bit — pinned by tests/runtime/test_session.py.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..congest.ledger import CostLedger
+from ..congest.network import Network
+from ..core.aggregation import Aggregation
+from ..core.blocks import annotate_blocks
+from ..core.corefast import verify_block_parameters
+from ..core.pa import (
+    PABatchResult,
+    PAResult,
+    PASetup,
+    PASolver,
+    RANDOMIZED,
+)
+from ..core.shortcuts import coarsen_shortcut
+from ..core.subparts import SubPartDivision
+from ..core.wave import compute_wave_boundary
+from ..graphs.partitions import Partition
+
+Fingerprint = Tuple[Tuple[int, ...], Optional[Tuple[int, ...]]]
+
+
+@dataclass
+class SessionStats:
+    """Counters describing how a session served its prepares/solves."""
+
+    prepares: int = 0          # full pipeline constructions
+    cache_hits: int = 0        # setups served from the fingerprint memo
+    coarsenings: int = 0       # setups served by incremental coarsening
+    rebuilds: int = 0          # coarsenings rejected by re-verification
+    solves: int = 0            # single-aggregate solves
+    batched_solves: int = 0    # aggregations folded into shared wave passes
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+def partition_fingerprint(
+    partition: Partition, leaders: Optional[Sequence[int]] = None
+) -> Fingerprint:
+    """The session cache key: the exact part assignment plus leaders.
+
+    ``part_of`` determines the division and shortcut given the solver's
+    fixed tree/mode/seed *state*, and leaders determine wave roots;
+    ``None`` leaders mean the solver's deterministic default, so they
+    fingerprint as ``None`` rather than being materialized.
+    """
+    return (
+        tuple(partition.part_of),
+        tuple(leaders) if leaders is not None else None,
+    )
+
+
+def _coarsening_map(
+    old: Partition, new: Partition
+) -> Optional[List[int]]:
+    """``pid_map[old_pid] = new_pid`` if ``new`` merge-only coarsens ``old``.
+
+    Returns ``None`` when it does not (an old part's members land in more
+    than one new part, or the node sets differ) — the caller then falls
+    back to a full prepare.
+    """
+    if len(old.part_of) != len(new.part_of):
+        return None
+    pid_map: List[int] = [-1] * old.num_parts
+    for node, old_pid in enumerate(old.part_of):
+        new_pid = new.part_of[node]
+        if pid_map[old_pid] == -1:
+            pid_map[old_pid] = new_pid
+        elif pid_map[old_pid] != new_pid:
+            return None
+    return pid_map
+
+
+class PASession:
+    """A long-lived PA acquisition point for one network.
+
+    Parameters mirror :class:`~repro.core.pa.PASolver` (``net``, ``mode``,
+    ``seed``, ``root``, ``strict_bits``, ``strict_edges``), plus:
+
+    shortcut_provider / family / family_param / claim_small:
+        Which shortcut construction ``prepare`` uses.  ``family`` names a
+        registry row (``"planar"``, ``"treewidth"``, ...) and resolves to
+        a provider via :func:`repro.families.provider_for`; passing both
+        a provider and a family is an error.  ``None`` (default) is the
+        general mode-selected pipeline, bit for bit.
+    reuse:
+        Enable setup caching and incremental coarsening.
+    batch:
+        Enable single-wave multi-aggregate solves in :meth:`solve_many`.
+    solver:
+        Adopt an existing solver (its engine, tree and rng state) instead
+        of constructing one — how the ``solver=`` arguments of the
+        algorithm entry points keep working.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        mode: str = RANDOMIZED,
+        seed: int = 0,
+        root: Optional[int] = None,
+        strict_bits: bool = True,
+        strict_edges: bool = True,
+        shortcut_provider: Optional[object] = None,
+        family: Optional[str] = None,
+        family_param: Optional[int] = None,
+        claim_small: bool = False,
+        reuse: bool = False,
+        batch: bool = False,
+        solver: Optional[PASolver] = None,
+    ) -> None:
+        if family is not None:
+            if shortcut_provider is not None:
+                raise ValueError(
+                    "pass either shortcut_provider or family, not both"
+                )
+            from ..families.registry import provider_for
+
+            shortcut_provider = provider_for(
+                family, param=family_param, claim_small=claim_small
+            )
+        self.shortcut_provider = shortcut_provider
+        if solver is not None:
+            if solver.net is not net:
+                theirs, mine = solver.net, net
+                their_csr = theirs.adjacency_csr()
+                my_csr = mine.adjacency_csr()
+                if (
+                    theirs.n != mine.n
+                    or their_csr[0] != my_csr[0]
+                    or their_csr[1] != my_csr[1]
+                    or theirs.uid != mine.uid
+                ):
+                    raise ValueError(
+                        "solver is bound to an incompatible network "
+                        "(topology or uid permutation differs)"
+                    )
+            self.solver = solver
+        else:
+            self.solver = PASolver(
+                net, mode=mode, seed=seed, root=root,
+                strict_bits=strict_bits, strict_edges=strict_edges,
+            )
+        self.reuse = reuse
+        self.batch = batch
+        self.stats = SessionStats()
+        self._cache: Dict[Fingerprint, PASetup] = {}
+        # Keys whose entries came from coarsening.  Partitions only ever
+        # coarsen forward inside a phase loop, so once a coarsened setup
+        # is superseded by the next coarsening it can never be requested
+        # again and is evicted; full-prepare entries (loop entry points
+        # like the singleton partition, revisited across min-cut packing
+        # trees) are kept for the session's lifetime.
+        self._coarsened_keys: set = set()
+
+    # -- conveniences the algorithms lean on ---------------------------
+    @property
+    def net(self) -> Network:
+        return self.solver.net
+
+    @property
+    def mode(self) -> str:
+        return self.solver.mode
+
+    @property
+    def engine(self):
+        return self.solver.engine
+
+    @property
+    def tree(self):
+        return self.solver.tree
+
+    @property
+    def tree_ledger(self) -> CostLedger:
+        return self.solver.tree_ledger
+
+    def clear_cache(self) -> None:
+        """Drop all memoized setups (e.g. between unrelated workloads)."""
+        self._cache.clear()
+        self._coarsened_keys.clear()
+
+    # ------------------------------------------------------------------
+    def block_budget(self) -> int:
+        """Max verified block parameter a coarsened shortcut may keep.
+
+        The same default target the randomized construction freezes parts
+        at (``max(3, 3 ceil(log2 n))``), so coarsening is held to the
+        standard the from-scratch pipeline holds itself to.
+        """
+        log_n = max(1, math.ceil(math.log2(max(2, self.net.n))))
+        return max(3, 3 * log_n)
+
+    def prepare(
+        self,
+        partition: Partition,
+        leaders: Optional[Sequence[int]] = None,
+        congestion_budget: Optional[int] = None,
+        block_target: Optional[int] = None,
+        validate: bool = True,
+    ) -> PASetup:
+        """Build (or fetch) the PA machinery for a partition.
+
+        With ``reuse`` off this is exactly
+        ``solver.prepare(..., shortcut_provider=self.shortcut_provider)``.
+        With ``reuse`` on, a fingerprint hit returns the cached setup with
+        an *empty* setup ledger (construction was already charged when it
+        was first built); a miss builds, memoizes and returns as usual.
+        """
+        if not self.reuse:
+            self.stats.prepares += 1
+            return self.solver.prepare(
+                partition, leaders=leaders,
+                congestion_budget=congestion_budget,
+                block_target=block_target, validate=validate,
+                shortcut_provider=self.shortcut_provider,
+            )
+        key = partition_fingerprint(partition, leaders)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return replace(cached, setup_ledger=CostLedger())
+        self.stats.prepares += 1
+        setup = self.solver.prepare(
+            partition, leaders=leaders,
+            congestion_budget=congestion_budget,
+            block_target=block_target, validate=validate,
+            shortcut_provider=self.shortcut_provider,
+        )
+        self._cache[key] = setup
+        return setup
+
+    def prepare_incremental(
+        self,
+        previous: Optional[PASetup],
+        partition: Partition,
+        leaders: Optional[Sequence[int]] = None,
+    ) -> PASetup:
+        """``prepare`` that may coarsen ``previous`` instead of rebuilding.
+
+        The contract phase loops rely on: with ``reuse`` off (or no usable
+        ``previous``) this is exactly :meth:`prepare`; with ``reuse`` on
+        and ``partition`` a merge-only coarsening of ``previous``'s, the
+        previous machinery is projected and re-verified (see
+        :meth:`coarsen`).  Either way the returned setup is correct for
+        PA over ``partition`` — only its construction cost differs.
+        """
+        if not self.reuse or previous is None:
+            return self.prepare(partition, leaders=leaders)
+        key = partition_fingerprint(partition, leaders)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return replace(cached, setup_ledger=CostLedger())
+        pid_map = _coarsening_map(previous.partition, partition)
+        if pid_map is None:
+            return self.prepare(partition, leaders=leaders)
+        setup = self.coarsen(previous, partition, pid_map, leaders=leaders)
+        self._cache[key] = setup
+        self._coarsened_keys.add(key)
+        # The previous link of a coarsening chain is superseded: comp
+        # labels only merge forward, so its partition cannot recur (the
+        # no-merge retry re-presents the *latest* partition, which is the
+        # entry just stored).  Full-prepare entries are never evicted.
+        for prev_key in (
+            partition_fingerprint(previous.partition, previous.leaders),
+            partition_fingerprint(previous.partition, None),
+        ):
+            if prev_key != key and prev_key in self._coarsened_keys:
+                self._coarsened_keys.discard(prev_key)
+                self._cache.pop(prev_key, None)
+        return setup
+
+    def coarsen(
+        self,
+        previous: PASetup,
+        partition: Partition,
+        pid_map: Sequence[int],
+        leaders: Optional[Sequence[int]] = None,
+    ) -> PASetup:
+        """Project ``previous``'s machinery onto a merged partition.
+
+        Steps, each metered into the returned setup's ledger:
+
+        1. relabel/union the shortcut (:func:`coarsen_shortcut`) — free of
+           communication (the relabel broadcast that merged the parts
+           already carried the new ids);
+        2. keep the sub-part forest (old sub-parts still refine merged
+           parts) and extend the wave boundary lists only at former part
+           borders — one round in which nodes of merged parts compare
+           part ids with neighbors;
+        3. re-annotate blocks distributively (roots and depths change as
+           blocks fuse);
+        4. re-verify the block parameter *with PA itself* over the
+           coarsened machinery (Algorithm 2 / Lemma 4.5).  If the
+           verified count exceeds :meth:`block_budget`, the projection is
+           discarded and a fresh :meth:`prepare` runs instead (charged to
+           the same ledger) — quality degradation can cost a rebuild, but
+           never rounds-silently compounds.
+
+        Congestion needs no re-check: relabeling can only dedupe per-edge
+        part sets, so ``c`` never grows under coarsening.
+        """
+        solver = self.solver
+        net = solver.net
+        if leaders is None:
+            leaders = solver.default_leaders(partition)
+        leaders = tuple(leaders)
+        for pid, leader in enumerate(leaders):
+            if partition.part_of[leader] != pid:
+                raise ValueError(f"leader {leader} is not in part {pid}")
+
+        ledger = CostLedger()
+        shortcut = coarsen_shortcut(previous.shortcut, partition, pid_map)
+        division = SubPartDivision(
+            partition=partition,
+            forest=previous.division.forest,
+            rep_of=previous.division.rep_of,
+            part_leader=leaders,
+        )
+
+        # Incremental wave boundary: every old boundary edge stays (its
+        # endpoints' parts merged together or not at all); the only new
+        # candidates are edges between formerly-distinct parts that now
+        # share one — found by scanning just the members of merged parts.
+        old_boundary = compute_wave_boundary(
+            net, previous.partition, previous.division
+        )
+        merged_new_pids = set()
+        seen_new: set = set()
+        for new_pid in pid_map:
+            if new_pid in seen_new:
+                merged_new_pids.add(new_pid)
+            seen_new.add(new_pid)
+        boundary: List[Tuple[int, ...]] = list(old_boundary)
+        old_part_of = previous.partition.part_of
+        new_part_of = partition.part_of
+        touched = 0
+        for new_pid in merged_new_pids:
+            for v in partition.members[new_pid]:
+                gains = tuple(
+                    nb
+                    for nb in net.neighbors[v]
+                    if new_part_of[nb] == new_pid
+                    and old_part_of[nb] != old_part_of[v]
+                )
+                if gains:
+                    boundary[v] = old_boundary[v] + gains
+                touched += 1
+        division._wave_boundary_cache = boundary
+        # One round: members of merged parts exchange new part ids with
+        # neighbors to discover the fresh boundary edges (the relabel
+        # broadcast told them their own id; this is the neighbor side).
+        ledger.charge_local(
+            "coarsen_boundary_exchange", rounds=1, messages=2 * touched
+        )
+
+        annotations = annotate_blocks(solver.engine, shortcut, ledger)
+        counts = verify_block_parameters(
+            solver.engine, net, partition, division, shortcut, annotations,
+            ledger, randomized=(solver.mode == RANDOMIZED), rng=solver.rng,
+            phase_prefix="coarsen_verify",
+        )
+        self.stats.coarsenings += 1
+        if max(counts, default=0) > self.block_budget():
+            # Verified quality fell out of budget: rebuild from scratch,
+            # keeping the verification cost on the ledger (it was paid).
+            self.stats.rebuilds += 1
+            rebuilt = self.solver.prepare(
+                partition, leaders=leaders,
+                shortcut_provider=self.shortcut_provider,
+            )
+            ledger.merge(rebuilt.setup_ledger, prefix="rebuild:")
+            self.stats.prepares += 1
+            return replace(rebuilt, setup_ledger=ledger)
+
+        return PASetup(
+            partition=partition,
+            leaders=leaders,
+            division=division,
+            shortcut=shortcut,
+            annotations=annotations,
+            setup_ledger=ledger,
+        )
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        setup: PASetup,
+        values: Sequence[object],
+        agg: Aggregation,
+        charge_setup: bool = True,
+        phase_prefix: str = "pa",
+    ) -> PAResult:
+        """One aggregation over a prepared setup (delegates verbatim)."""
+        self.stats.solves += 1
+        return self.solver.solve(
+            setup, values, agg,
+            charge_setup=charge_setup, phase_prefix=phase_prefix,
+        )
+
+    def solve_many(
+        self,
+        setup: PASetup,
+        items: Sequence[Tuple[Sequence[object], Aggregation]],
+        charge_setup: bool = True,
+        phase_prefix: str = "pa_batch",
+        phase_prefixes: Optional[Sequence[str]] = None,
+    ) -> PABatchResult:
+        """k aggregations over one setup; one wave pass when ``batch``.
+
+        With ``batch`` off the aggregations run sequentially under
+        ``phase_prefixes`` — the exact solves (order, names, randomness)
+        the caller would have issued by hand, so ledgers stay bit-for-bit
+        identical to the pre-session code.  Merge the returned
+        ``.ledger`` exactly once; never the per-result ledgers.
+        """
+        if self.batch and len(items) > 1:
+            self.stats.batched_solves += len(items)
+        else:
+            self.stats.solves += len(items)
+        return self.solver.solve_many(
+            setup, items, charge_setup=charge_setup,
+            phase_prefix=phase_prefix, phase_prefixes=phase_prefixes,
+            batched=self.batch,
+        )
+
+
+def ensure_session(
+    session: Optional[PASession],
+    net: Network,
+    mode: str = RANDOMIZED,
+    seed: int = 0,
+    solver: Optional[PASolver] = None,
+    shortcut_provider: Optional[object] = None,
+    family: Optional[str] = None,
+    family_param: Optional[int] = None,
+) -> PASession:
+    """The algorithms' session acquisition: adopt, wrap, or construct.
+
+    * ``session`` given — use it (``solver``/provider arguments must not
+      contradict it);
+    * ``solver`` given — wrap it in a default session (reuse/batch off),
+      preserving the historical ``solver=`` sharing contract bit for bit;
+    * neither — construct ``PASolver(net, mode, seed)`` exactly as the
+      algorithms always have, behind a default session.
+    """
+    if session is not None:
+        if solver is not None and solver is not session.solver:
+            raise ValueError("pass either session or solver, not both")
+        if shortcut_provider is not None or family is not None:
+            raise ValueError(
+                "a provider/family is configured on the session itself"
+            )
+        return session
+    return PASession(
+        net, mode=mode, seed=seed, solver=solver,
+        shortcut_provider=shortcut_provider, family=family,
+        family_param=family_param,
+    )

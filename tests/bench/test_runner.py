@@ -311,3 +311,43 @@ def test_check_against_respects_only_filter(tmp_path):
     assert main(["--bench-dir", str(bench_dir), "--out", str(out),
                  "--no-experiments", "--only", "tiny",
                  "--check-against", str(baseline_path)]) == 0
+
+
+def test_only_glob_matching(tmp_path):
+    from repro.bench.runner import only_matches
+
+    # Plain strings keep the historical substring behavior.
+    assert only_matches(None, "bench_scaling.py")
+    assert only_matches("scaling", "bench_scaling.py")
+    assert not only_matches("families", "bench_scaling.py")
+    # Metacharacters switch to shell-glob matching over the file name.
+    assert only_matches("bench_t*.py", "bench_tiny.py")
+    assert only_matches("*tiny*", "bench_tiny.py")
+    assert not only_matches("bench_t*.py", "bench_b.py")
+    assert only_matches("bench_?.py", "bench_b.py")
+
+    bench_dir = _write_bench_dir(
+        tmp_path, {"bench_b.py": GOOD_BENCH_B, "bench_tiny.py": GOOD_BENCH}
+    )
+    assert [r.file for r in run_all(bench_dir, only="bench_t*")] == [
+        "bench_tiny.py"
+    ]
+    assert {r.file for r in run_all(bench_dir, only="bench_*")} == {
+        "bench_b.py", "bench_tiny.py"
+    }
+    assert run_all(bench_dir, only="bench_z*") == []
+
+
+def test_check_against_respects_only_glob(tmp_path):
+    from repro.bench.runner import check_against_baseline
+
+    bench_dir = _write_bench_dir(
+        tmp_path, {"bench_b.py": GOOD_BENCH_B, "bench_tiny.py": GOOD_BENCH}
+    )
+    full = run_all(bench_dir)
+    baseline_path = tmp_path / "BASE.json"
+    baseline_path.write_text(json.dumps(results_to_json(full), default=str))
+    subset = run_all(bench_dir, only="bench_t*")
+    assert check_against_baseline(
+        subset, baseline_path, report=lambda s: None, only="bench_t*"
+    ) == []
