@@ -24,9 +24,19 @@ Public API tour:
   point every algorithm routes through, with opt-in setup caching,
   incremental coarsening across merge phases, and batched
   multi-aggregate solves.
+* ``repro.fuzz`` — the schedule-and-graph differential fuzzer that pins
+  sync/async equivalence (``python -m repro.fuzz``).
 """
 
-from .congest import CostLedger, Engine, Network, PhaseStats
+from .congest import (
+    AsyncEngine,
+    CostLedger,
+    Engine,
+    Network,
+    PhaseStats,
+    Schedule,
+    make_schedule,
+)
 from .core import (
     MAX,
     MIN,
@@ -46,6 +56,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Aggregation",
+    "AsyncEngine",
     "CostLedger",
     "Engine",
     "MAX",
@@ -57,9 +68,11 @@ __all__ = [
     "PASolver",
     "Partition",
     "PhaseStats",
+    "Schedule",
     "ShortcutProvider",
     "SUM",
     "Shortcut",
+    "make_schedule",
     "provider_for",
     "solve_pa",
     "__version__",

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..congest.engine import Context, Engine, Inbox, Program
 from ..congest.ledger import CostLedger, RunResult
 from ..congest.network import Network
+from ..congest.schedule import Schedule
 from ..graphs.partitions import partition_from_component_labels
 from ..core.aggregation import MIN, MIN_TUPLE
 from ..core.no_leader import PASuperOps, _CrossProgram
@@ -126,6 +127,8 @@ def connected_dominating_set(
     session: Optional[PASession] = None,
     shortcut_provider: Optional[object] = None,
     family: Optional[str] = None,
+    schedule: Optional[Schedule] = None,
+    async_mode: bool = False,
 ) -> RunResult:
     """Compute an O(log n)-approximate CDS; returns the node set.
 
@@ -136,6 +139,7 @@ def connected_dominating_set(
     session = ensure_session(
         session, net, mode=mode, seed=seed, solver=solver,
         shortcut_provider=shortcut_provider, family=family,
+        schedule=schedule, async_mode=async_mode,
     )
     solver = session.solver
     ledger = CostLedger()

@@ -17,6 +17,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..congest.ledger import CostLedger, RunResult
 from ..congest.network import Network, canonical_edge
+from ..congest.schedule import Schedule
 from ..graphs.partitions import Partition, partition_from_component_labels
 from ..core.aggregation import MIN
 from ..core.pa import PASetup, PASolver, RANDOMIZED
@@ -62,6 +63,8 @@ def cc_labeling(
     session: Optional[PASession] = None,
     shortcut_provider: Optional[object] = None,
     family: Optional[str] = None,
+    schedule: Optional[Schedule] = None,
+    async_mode: bool = False,
 ) -> RunResult:
     """Label H-components with their minimum member uid, via one PA solve.
 
@@ -74,6 +77,7 @@ def cc_labeling(
     session = ensure_session(
         session, net, mode=mode, seed=seed, solver=solver,
         shortcut_provider=shortcut_provider, family=family,
+        schedule=schedule, async_mode=async_mode,
     )
     solver = session.solver
     partition = components_partition(net, subgraph_edges)

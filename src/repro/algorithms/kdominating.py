@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..congest.ledger import CostLedger, RunResult
 from ..congest.network import Network
+from ..congest.schedule import Schedule
 from ..graphs.partitions import partition_from_component_labels
 from ..core.aggregation import MIN, MIN_TUPLE, SUM
 from ..core.no_leader import PASuperOps
@@ -40,6 +41,8 @@ def k_dominating_set(
     session: Optional[PASession] = None,
     shortcut_provider: Optional[object] = None,
     family: Optional[str] = None,
+    schedule: Optional[Schedule] = None,
+    async_mode: bool = False,
 ) -> RunResult:
     """Compute a k-dominating set of size at most ~6n/k, via PA merging.
 
@@ -53,6 +56,7 @@ def k_dominating_set(
     session = ensure_session(
         session, net, mode=mode, seed=seed, solver=solver,
         shortcut_provider=shortcut_provider, family=family,
+        schedule=schedule, async_mode=async_mode,
     )
     solver = session.solver
     ledger = CostLedger()

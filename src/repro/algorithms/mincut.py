@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..congest.engine import Context, Engine, Inbox, Program
 from ..congest.ledger import CostLedger, RunResult
 from ..congest.network import Network, canonical_edge
+from ..congest.schedule import Schedule
 from ..core.aggregation import SUM, Aggregation
 from ..core.pa import PASolver, RANDOMIZED
 from ..core.queued import QueuedProgram
@@ -234,6 +235,8 @@ def approx_min_cut(
     session: Optional[PASession] = None,
     shortcut_provider: Optional[object] = None,
     family: Optional[str] = None,
+    schedule: Optional[Schedule] = None,
+    async_mode: bool = False,
 ) -> RunResult:
     """(1+eps)-approximate min cut; every node learns its side.
 
@@ -254,6 +257,7 @@ def approx_min_cut(
     session = ensure_session(
         session, net, mode=mode, seed=seed, solver=solver,
         shortcut_provider=shortcut_provider, family=family,
+        schedule=schedule, async_mode=async_mode,
     )
     solver = session.solver
     ledger = CostLedger()

@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..congest.engine import Context, Engine, Inbox, Program
 from ..congest.ledger import CostLedger, RunResult
 from ..congest.network import Network, canonical_edge
+from ..congest.schedule import Schedule
 from ..graphs.partitions import Partition, partition_from_component_labels
 from ..core.aggregation import MIN, MIN_TUPLE, OR
 from ..core.no_leader import PASuperOps, _CrossProgram
@@ -90,6 +91,8 @@ def minimum_spanning_tree(
     session: Optional[PASession] = None,
     shortcut_provider: Optional[object] = None,
     family: Optional[str] = None,
+    schedule: Optional[Schedule] = None,
+    async_mode: bool = False,
 ) -> RunResult:
     """Distributed MST; returns the edge set with a fully metered ledger.
 
@@ -106,6 +109,7 @@ def minimum_spanning_tree(
     session = ensure_session(
         session, net, mode=mode, seed=seed, solver=solver,
         shortcut_provider=shortcut_provider, family=family,
+        schedule=schedule, async_mode=async_mode,
     )
     solver = session.solver
     rng = random.Random(seed ^ 0xB0B)

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..congest.engine import Context, Engine, Inbox, Program
 from ..congest.ledger import CostLedger, RunResult
 from ..congest.network import Network, canonical_edge
+from ..congest.schedule import Schedule
 from ..core.pa import PASolver, RANDOMIZED
 from ..core.trees import ABSENT, ROOT, RootedForest
 from ..runtime import PASession, ensure_session
@@ -123,6 +124,8 @@ def approx_sssp(
     session: Optional[PASession] = None,
     shortcut_provider: Optional[object] = None,
     family: Optional[str] = None,
+    schedule: Optional[Schedule] = None,
+    async_mode: bool = False,
 ) -> RunResult:
     """Approximate SSSP: every node learns ``dv >= d(s, v)``.
 
@@ -139,6 +142,7 @@ def approx_sssp(
     session = ensure_session(
         session, net, mode=mode, seed=seed, solver=solver,
         shortcut_provider=shortcut_provider, family=family,
+        schedule=schedule, async_mode=async_mode,
     )
     solver = session.solver
     ledger = CostLedger()

@@ -9,6 +9,7 @@ nothing about shortcuts or Part-Wise Aggregation; it only provides:
 * :class:`CostLedger` / :class:`PhaseStats` — metered rounds and messages.
 """
 
+from .async_engine import AsyncEngine, AsyncPhaseOverhead
 from .engine import (
     BulkProgram,
     Context,
@@ -41,8 +42,18 @@ from .message import (
     payload_bits_cached,
 )
 from .network import Network, canonical_edge, network_from_networkx
+from .schedule import (
+    FIFORandomSchedule,
+    RandomDelaySchedule,
+    Schedule,
+    SlowEdgeSchedule,
+    SynchronousSchedule,
+    make_schedule,
+)
 
 __all__ = [
+    "AsyncEngine",
+    "AsyncPhaseOverhead",
     "BandwidthExceededError",
     "BulkProgram",
     "ChannelCapacityError",
@@ -51,6 +62,7 @@ __all__ = [
     "CostLedger",
     "Engine",
     "EngineProfile",
+    "FIFORandomSchedule",
     "FastContext",
     "FunctionProgram",
     "Inbox",
@@ -59,11 +71,16 @@ __all__ = [
     "NotAnEdgeError",
     "PhaseStats",
     "Program",
+    "RandomDelaySchedule",
     "RoundLimitExceededError",
     "RunResult",
+    "Schedule",
     "ShortcutValidationError",
+    "SlowEdgeSchedule",
+    "SynchronousSchedule",
     "canonical_edge",
     "int_bits",
+    "make_schedule",
     "merge_max_rounds",
     "message_bit_limit",
     "network_from_networkx",

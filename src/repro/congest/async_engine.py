@@ -1,0 +1,546 @@
+"""Event-driven asynchronous execution of synchronous CONGEST programs.
+
+The paper's algorithms are specified in the synchronous model, but their
+*message* optimality is exactly what makes an asynchronous execution
+interesting: a message-frugal algorithm pays a small synchronizer tax,
+a message-heavy one drowns in it (Awerbuch's classic observation, and
+the axis studied by the message-reduction / message-time-trade-off lines
+of related work).  :class:`AsyncEngine` makes that a measurable axis of
+the reproduction:
+
+* every message carries a per-edge delivery delay drawn from a pluggable
+  :class:`~repro.congest.schedule.Schedule` (synchronous, seeded-random,
+  adversarial slow-edge, FIFO-per-edge);
+* an **alpha-synchronizer** layer runs unmodified
+  :class:`~repro.congest.engine.Program`s on top of the asynchronous
+  event queue: payloads are tagged with the sender's pulse, receipts are
+  acknowledged, a node that has all its pulse-``t`` sends acknowledged is
+  *safe* for ``t`` and tells its neighbors, and a node starts pulse
+  ``t + 1`` once all neighbors are safe for ``t`` — so each node's
+  pulse-``t`` inbox is exactly the synchronous round-``t`` inbox, while
+  different nodes may be pulses apart at any instant (out-of-order,
+  bounded-skew execution);
+* delivery is genuinely out of order under non-FIFO schedules: early
+  arrivals are buffered per pulse, and each inbox is *resequenced* into
+  the synchronous engine's canonical order (sorted by sender, per-sender
+  emission order) before the program sees it.
+
+Accounting (the load-bearing rule; see docs/architecture.md,
+"Asynchronous execution"): the **main ledger is schedule-invariant** —
+``run`` returns the same rounds/messages/ticks the synchronous engine
+charges, because those are cost-model facts about the algorithm, not
+about the network's timing.  Everything the asynchrony itself costs is
+accounted *separately* in :attr:`AsyncEngine.overhead`: virtual
+time-units of makespan (charged to the overhead ledger's ``rounds``
+column) and ack/safe control messages (its ``messages`` column), with a
+per-phase :class:`AsyncPhaseOverhead` record keeping the full breakdown.
+Under the delay-0 :class:`~repro.congest.schedule.SynchronousSchedule`
+the virtual clock is uniform, the execution order collapses to the
+synchronous engine's, and the main ledger is bit-for-bit identical to
+:class:`~repro.congest.engine.Engine`'s — pinned by the schedule-fuzzing
+harness (``tests/fuzz/``) and by ``tests/congest/test_async_engine.py``.
+
+Simplifications (documented, simulator-side): the synchronizer's safe
+waves are simulated only up to the last pulse that has any payload,
+wakeup or timer pending — the simulator detects quiescence globally
+instead of running a distributed termination-detection layer, and idle
+nodes charge one "frame" (payload + ack slots) per pulse so the virtual
+clock stays uniform when delays are.  Both affect only the overhead
+accounting, never the main ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Set, Tuple
+
+from .engine import Context, FastContext, Program
+from .errors import ChannelCapacityError, RoundLimitExceededError
+from .ledger import CostLedger, EngineProfile, PhaseStats
+from .network import Network
+from .schedule import ACK, PAYLOAD, SAFE, Schedule, SynchronousSchedule
+
+# Event codes (first tuple slot after (time, seq)).
+_EV_PAYLOAD = 0
+_EV_ACK = 1
+_EV_SAFE = 2
+_EV_SELF_SAFE = 3
+
+
+@dataclass(frozen=True)
+class AsyncPhaseOverhead:
+    """What one phase's asynchronous execution cost beyond the cost model.
+
+    ``time_units``
+        Virtual-clock makespan of the phase (every hop costs one unit
+        plus the schedule's delay; a pulse frame is >= 3 units).
+    ``pulses``
+        Synchronizer pulses driven (equals the main ledger's ``ticks``).
+    ``payload_messages`` / ``ack_messages`` / ``safe_messages``
+        Program messages vs. the synchronizer's control traffic.  Acks
+        are one per payload; safe waves cost about ``2m`` per pulse.
+    ``max_skew``
+        Largest observed gap (in pulses) between the most- and
+        least-advanced nodes — the out-of-orderness witness.  0 under
+        the delay-0 schedule; > 0 under heterogeneous delays.
+    """
+
+    name: str
+    pulses: int
+    time_units: int
+    payload_messages: int
+    ack_messages: int
+    safe_messages: int
+    max_skew: int
+
+    @property
+    def control_messages(self) -> int:
+        return self.ack_messages + self.safe_messages
+
+
+class AsyncEngine:
+    """Drop-in :class:`~repro.congest.engine.Engine` with async semantics.
+
+    Same ``run`` signature and same returned :class:`PhaseStats` (the
+    cost model is schedule-invariant); the asynchrony's own costs go to
+    :attr:`overhead` (a :class:`CostLedger` whose ``rounds`` column holds
+    virtual time-units and whose ``messages`` column holds synchronizer
+    control messages) and :attr:`overhead_log` (full per-phase records).
+
+    Parameters mirror the synchronous engine plus ``schedule``.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        schedule: Optional[Schedule] = None,
+        strict_bits: bool = True,
+        profile: bool = False,
+        strict_edges: bool = True,
+    ) -> None:
+        if not strict_edges and strict_bits:
+            raise ValueError(
+                "strict_edges=False requires strict_bits=False: the "
+                "audit-free FastContext drops both checks together"
+            )
+        self.network = network
+        self.schedule = schedule if schedule is not None else SynchronousSchedule()
+        self.strict_bits = strict_bits
+        self.strict_edges = strict_edges
+        self.profile = profile
+        #: Synchronizer accounting, separate from every program ledger:
+        #: per phase, ``rounds`` = virtual time-units, ``messages`` =
+        #: ack + safe control messages.
+        self.overhead = CostLedger()
+        #: Per-phase :class:`AsyncPhaseOverhead` records, in run order.
+        self.overhead_log: List[AsyncPhaseOverhead] = []
+
+    def run(
+        self,
+        program: Program,
+        max_ticks: int,
+        capacity: int = 1,
+        rounds_per_tick: int = 1,
+        name: Optional[str] = None,
+        profile: Optional[bool] = None,
+    ) -> PhaseStats:
+        """Execute ``program`` to quiescence under the engine's schedule.
+
+        The returned stats are the synchronous cost model's (pinned
+        bit-for-bit against :class:`~repro.congest.engine.Engine` by the
+        fuzz harness); the phase's asynchronous overhead is appended to
+        :attr:`overhead` / :attr:`overhead_log` as a side effect.
+        """
+        phase_name = name or program.name
+        want_profile = self.profile if profile is None else profile
+        ctx_cls = (
+            Context if (self.strict_bits or self.strict_edges) else FastContext
+        )
+        ctx = ctx_cls(self.network, self.strict_bits)
+        run = _AsyncPhase(
+            self.network, self.schedule, program, ctx, max_ticks, capacity,
+            phase_name,
+        )
+        stats, overhead = run.execute(rounds_per_tick, want_profile)
+        self.overhead.charge(
+            PhaseStats(
+                name=phase_name,
+                rounds=overhead.time_units,
+                messages=overhead.control_messages,
+                ticks=overhead.pulses,
+            )
+        )
+        self.overhead_log.append(overhead)
+        return stats
+
+
+class _AsyncPhase:
+    """One phase's event-driven execution state (private to the engine)."""
+
+    def __init__(
+        self,
+        net: Network,
+        schedule: Schedule,
+        program: Program,
+        ctx: Context,
+        max_ticks: int,
+        capacity: int,
+        phase_name: str,
+    ) -> None:
+        self.net = net
+        self.schedule = schedule
+        self.program = program
+        self.ctx = ctx
+        self.max_ticks = max_ticks
+        self.capacity = capacity
+        self.phase_name = phase_name
+
+        n = net.n
+        self.neighbors = net.neighbors
+        self.deg = [len(net.neighbors[v]) for v in range(n)]
+        #: Last pulse each node has entered (0 = the on_start frame).
+        self.pulse = [0] * n
+        #: Entry time of each node's current pulse (virtual clock).
+        self.entered_at = [0] * n
+        #: node -> target pulse -> [(sender, emit_seq, payload), ...].
+        self.mailbox: List[Dict[int, List[Tuple[int, int, object]]]] = [
+            {} for _ in range(n)
+        ]
+        #: node -> pulses with a pending ``wake`` activation.
+        self.wake_pending: List[Set[int]] = [set() for _ in range(n)]
+        #: pulse -> nodes with a ``wake_at`` timer (global wheel).
+        self.timers: Dict[int, Set[int]] = {}
+        #: node -> pulse -> payloads sent in that pulse, not yet acked.
+        self.unacked: List[Dict[int, int]] = [{} for _ in range(n)]
+        #: node -> pulse -> neighbor safes received for that pulse.
+        self.safe_cnt: List[Dict[int, int]] = [{} for _ in range(n)]
+        #: Pulses for which each node already emitted (or stalled) its
+        #: safe wave.  A node can become safe for pulse t+1 *before*
+        #: pulse t (it enters t+1 on its neighbors' safes, not its own,
+        #: and an idle t+1 needs no acks while t may still wait on some),
+        #: so this is a per-pulse set, not a high-water mark.
+        self.safe_emitted: List[Set[int]] = [set() for _ in range(n)]
+        #: Last pulse any payload/wakeup/timer targets ("interesting").
+        self.last_interesting = 0
+        #: Nodes whose gate is open but whose next pulse exceeds
+        #: ``last_interesting`` (they re-check when it rises).
+        self.li_waiters: Set[int] = set()
+        #: pulse -> nodes that became safe while the run looked finished
+        #: (their safe wave is released if the horizon later extends).
+        self.stalled_safe: Dict[int, List[int]] = {}
+        #: FIFO clamp: directed edge -> last payload arrival time.
+        self.fifo_last: Dict[Tuple[int, int], int] = {}
+
+        self.heap: List[tuple] = []
+        self.event_seq = 0
+        self.emit_seq = 0
+        #: target pulse -> payloads delivered into it (peak_in_flight).
+        self.in_flight: Dict[int, int] = {}
+        self.live_pulses: Set[int] = set()
+        self.payload_msgs = 0
+        self.ack_msgs = 0
+        self.safe_msgs = 0
+        self.activations = 0
+        self.clock = 0
+        #: Skew tracking: population count per pulse + running min.
+        self.pulse_pop: Dict[int, int] = {0: n}
+        self.min_pulse = 0
+        self.max_pulse = 0
+        self.max_skew = 0
+
+        #: Gate-open (pulse, node) entries awaiting execution at the
+        #: current timestamp, plus a membership set for dedup.
+        self.ready: List[Tuple[int, int]] = []
+        self.ready_set: Set[int] = set()
+
+    # -- event helpers --------------------------------------------------
+    def _push(self, time: int, payload: tuple) -> None:
+        self.event_seq += 1
+        heappush(self.heap, (time, self.event_seq) + payload)
+
+    def _raise_horizon(self, target_pulse: int, now: int) -> None:
+        """Extend the last interesting pulse; release stalled machinery."""
+        if target_pulse <= self.last_interesting:
+            return
+        self.last_interesting = target_pulse
+        if self.stalled_safe:
+            for t in sorted(self.stalled_safe):
+                if t + 1 > self.last_interesting:
+                    continue
+                for u in self.stalled_safe.pop(t):
+                    self._fan_out_safe(u, t, now)
+        if self.li_waiters:
+            for v in sorted(self.li_waiters):
+                self._try_queue(v)
+
+    # -- the synchronizer protocol --------------------------------------
+    def _fan_out_safe(self, u: int, t: int, now: int) -> None:
+        schedule_delay = self.schedule.delay
+        for nb in self.neighbors[u]:
+            self._push(now + 1 + schedule_delay(u, nb, t, SAFE), (_EV_SAFE, nb, t))
+        self.safe_msgs += len(self.neighbors[u])
+
+    def _become_safe(self, u: int, t: int, now: int) -> None:
+        if t in self.safe_emitted[u]:
+            return
+        self.safe_emitted[u].add(t)
+        if t + 1 > self.last_interesting:
+            # The run looks over beyond pulse t; withhold the safe wave
+            # (released by _raise_horizon if more work appears).
+            self.stalled_safe.setdefault(t, []).append(u)
+            return
+        self._fan_out_safe(u, t, now)
+
+    def _try_queue(self, v: int) -> None:
+        """Queue v's next pulse entry if its gate is open."""
+        if v in self.ready_set:
+            return
+        t = self.pulse[v] + 1
+        if self.deg[v] and self.safe_cnt[v].get(t - 1, 0) < self.deg[v]:
+            return
+        if t > self.last_interesting:
+            self.li_waiters.add(v)
+            return
+        self.li_waiters.discard(v)
+        self.ready_set.add(v)
+        self.ready.append((t, v))
+
+    # -- program-side steps ---------------------------------------------
+    def _harvest(self, sender_pulse: int, now: int) -> int:
+        """Convert one activation's context effects into timed events."""
+        ctx = self.ctx
+        sent = ctx._sent
+        target = sender_pulse + 1
+        if sent:
+            schedule_delay = self.schedule.delay
+            fifo = self.schedule.fifo
+            fifo_last = self.fifo_last
+            for dst in ctx._touched:
+                box = ctx._mail[dst]
+                for src, payload in box:
+                    self.emit_seq += 1
+                    arrival = now + 1 + schedule_delay(src, dst, sender_pulse, PAYLOAD)
+                    if fifo:
+                        key = (src, dst)
+                        prev = fifo_last.get(key, 0)
+                        if arrival < prev:
+                            arrival = prev
+                        fifo_last[key] = arrival
+                    self._push(
+                        arrival,
+                        (_EV_PAYLOAD, dst, target, src, self.emit_seq, payload),
+                    )
+                    bucket = self.unacked[src]
+                    if sender_pulse in self.safe_emitted[src]:
+                        raise RuntimeError(
+                            "async engine: node "
+                            f"{src} gained a pulse-{sender_pulse} send after "
+                            "being declared safe (sends on behalf of other "
+                            "nodes are only legal in on_start)"
+                        )
+                    bucket[sender_pulse] = bucket.get(sender_pulse, 0) + 1
+                box.clear()
+            ctx._touched.clear()
+            ctx._sent = 0
+            self.payload_msgs += sent
+            self._raise_horizon(target, now)
+        if ctx._wakeups:
+            for w in ctx._wakeups:
+                if self.pulse[w] > sender_pulse:
+                    raise RuntimeError(
+                        f"async engine: wake({w}) for pulse {target} arrived "
+                        f"after the node already passed it (cross-node wakes "
+                        "are only legal in on_start)"
+                    )
+                self.wake_pending[w].add(target)
+            ctx._wakeups.clear()
+            self._raise_horizon(target, now)
+        if ctx._timers:
+            for t, bucket in ctx._timers.items():
+                for w in bucket:
+                    if self.pulse[w] >= t:
+                        raise RuntimeError(
+                            f"async engine: wake_at({w}, {t}) arrived after "
+                            "the node already passed that pulse"
+                        )
+                wheel = self.timers.get(t)
+                if wheel is None:
+                    self.timers[t] = set(bucket)
+                else:
+                    wheel |= bucket
+                self._raise_horizon(t, now)
+            ctx._timers.clear()
+        return sent
+
+    def _build_inbox(self, v: int, t: int) -> tuple:
+        mail = self.mailbox[v].pop(t, None)
+        if not mail:
+            return ()
+        # Canonical resequencing: the synchronous engine delivers each
+        # inbox sorted (stably) by sender, which preserves each sender's
+        # emission order — exactly (sender, emit_seq) order here, no
+        # matter how the schedule reordered arrivals.
+        mail.sort(key=_mail_key)
+        capacity = self.capacity
+        prev = -1
+        run = 0
+        for sender, _seq, _payload in mail:
+            if sender == prev:
+                run += 1
+                if run > capacity:
+                    raise ChannelCapacityError(sender, v, run, capacity)
+            else:
+                prev = sender
+                run = 1
+        return tuple((sender, payload) for sender, _seq, payload in mail)
+
+    def _enter(self, v: int, t: int, now: int) -> None:
+        """Node v starts pulse t (executing its activation if it has one)."""
+        if t > self.max_ticks:
+            raise RoundLimitExceededError(self.phase_name, self.max_ticks)
+        prev = self.pulse[v]
+        self.pulse[v] = t
+        self.entered_at[v] = now
+        self.safe_cnt[v].pop(prev - 1, None)
+        # Skew bookkeeping: move v from pulse ``prev`` to ``t``.  The
+        # max observed skew is sampled at virtual-time boundaries (in
+        # ``execute``), not here — entries *within* one timestamp are
+        # simultaneous, so mid-batch gaps are not real skew.
+        pop = self.pulse_pop
+        pop[t] = pop.get(t, 0) + 1
+        left = pop[prev] - 1
+        if left:
+            pop[prev] = left
+        else:
+            del pop[prev]
+            if prev == self.min_pulse:
+                self.min_pulse = min(pop)
+        if t > self.max_pulse:
+            self.max_pulse = t
+
+        timer_bucket = self.timers.get(t)
+        timer_hit = timer_bucket is not None and v in timer_bucket
+        if timer_hit:
+            timer_bucket.discard(v)
+            if not timer_bucket:
+                del self.timers[t]
+        woken = t in self.wake_pending[v]
+        if woken:
+            self.wake_pending[v].discard(t)
+        inbox = self._build_inbox(v, t)
+
+        sent = 0
+        if inbox or woken or timer_hit:
+            self.activations += 1
+            self.live_pulses.add(t)
+            ctx = self.ctx
+            ctx.tick = t
+            self.program.on_node(ctx, v, inbox)
+            sent = self._harvest(t, now)
+        if sent == 0:
+            # Nothing to wait on, but the pulse frame still spans the
+            # payload + ack slots so the virtual clock stays uniform
+            # under uniform delays (see module docstring).
+            self._push(now + 2, (_EV_SELF_SAFE, v, t))
+        self._try_queue(v)
+
+    # -- main loop -------------------------------------------------------
+    def execute(
+        self, rounds_per_tick: int, want_profile: bool
+    ) -> Tuple[PhaseStats, AsyncPhaseOverhead]:
+        ctx = self.ctx
+        ctx.tick = 0
+        self.program.on_start(ctx)
+        self._harvest(0, 0)
+        n = self.net.n
+        for u in range(n):
+            if not self.unacked[u].get(0):
+                self._push(2, (_EV_SELF_SAFE, u, 0))
+        for u in range(n):
+            self._try_queue(u)
+
+        heap = self.heap
+        while heap or self.ready:
+            # Execute every gate-open entry at the current timestamp in
+            # deterministic (pulse, node) order before advancing the
+            # clock; executing may open further gates at the same
+            # timestamp (horizon raises, banked safes), so drain fully.
+            if self.ready:
+                batch = self.ready
+                self.ready = []
+                batch.sort()
+                for t, v in batch:
+                    self.ready_set.discard(v)
+                    self._enter(v, t, self.clock)
+                continue
+            now = heap[0][0]
+            self.clock = now
+            skew = self.max_pulse - self.min_pulse
+            if skew > self.max_skew:
+                self.max_skew = skew
+            while heap and heap[0][0] == now:
+                event = heappop(heap)
+                code = event[2]
+                if code == _EV_PAYLOAD:
+                    _t, _s, _c, dst, tpulse, src, eseq, payload = event
+                    self.mailbox[dst].setdefault(tpulse, []).append(
+                        (src, eseq, payload)
+                    )
+                    self.in_flight[tpulse] = self.in_flight.get(tpulse, 0) + 1
+                    self.ack_msgs += 1
+                    self._push(
+                        now + 1 + self.schedule.delay(dst, src, tpulse - 1, ACK),
+                        (_EV_ACK, src, tpulse - 1),
+                    )
+                elif code == _EV_ACK:
+                    _t, _s, _c, u, p = event
+                    bucket = self.unacked[u]
+                    left = bucket[p] - 1
+                    if left:
+                        bucket[p] = left
+                    else:
+                        del bucket[p]
+                        self._become_safe(u, p, now)
+                elif code == _EV_SAFE:
+                    _t, _s, _c, dst, p = event
+                    cnt = self.safe_cnt[dst]
+                    cnt[p] = cnt.get(p, 0) + 1
+                    if cnt[p] == self.deg[dst] and self.pulse[dst] == p:
+                        self._try_queue(dst)
+                else:  # _EV_SELF_SAFE
+                    _t, _s, _c, u, p = event
+                    if not self.unacked[u].get(p):
+                        self._become_safe(u, p, now)
+
+        ticks = self.last_interesting
+        stats = PhaseStats(
+            name=self.phase_name,
+            rounds=ticks * rounds_per_tick,
+            messages=self.payload_msgs,
+            ticks=ticks,
+            profile=(
+                EngineProfile(
+                    ticks=len(self.live_pulses),
+                    peak_in_flight=max(self.in_flight.values(), default=0),
+                    activations=self.activations,
+                    idle_ticks=ticks - len(self.live_pulses),
+                )
+                if want_profile
+                else None
+            ),
+        )
+        overhead = AsyncPhaseOverhead(
+            name=self.phase_name,
+            pulses=ticks,
+            time_units=self.clock,
+            payload_messages=self.payload_msgs,
+            ack_messages=self.ack_msgs,
+            safe_messages=self.safe_msgs,
+            max_skew=self.max_skew,
+        )
+        return stats, overhead
+
+
+def _mail_key(entry: Tuple[int, int, object]) -> Tuple[int, int]:
+    return (entry[0], entry[1])

@@ -1,0 +1,186 @@
+"""Delivery schedules for the asynchronous engine.
+
+A :class:`Schedule` assigns every message of an asynchronous execution an
+*extra* delivery delay in virtual time units, on top of the one-unit hop
+latency every edge always charges.  The async engine
+(:mod:`repro.congest.async_engine`) queries the schedule per message —
+payloads, and the ack/safe control traffic of its synchronizer layer —
+so a schedule can slow an edge for everything that crosses it.
+
+Schedules are *pure functions* of their construction parameters and the
+message coordinates ``(src, dst, pulse, kind)``: the same schedule object
+(or an equal-seeded copy) always assigns the same delays regardless of
+the order the engine asks in.  That purity is what makes every fuzz
+failure replayable from a ``(graph_seed, schedule_seed)`` pair alone.
+
+Legitimacy note (see docs/architecture.md, "Asynchronous execution"):
+schedules shape *timing*, never the cost model.  The rounds/messages a
+phase charges to the main ledger are those of the synchronous execution
+the synchronizer simulates; the schedule only moves the virtual clock and
+the synchronizer overhead, which are accounted separately.
+"""
+
+from __future__ import annotations
+
+#: Message kinds a schedule may distinguish.
+PAYLOAD = 0
+ACK = 1
+SAFE = 2
+
+_KIND_NAMES = {PAYLOAD: "payload", ACK: "ack", SAFE: "safe"}
+
+_MASK = (1 << 64) - 1
+
+
+def _mix(*parts: int) -> int:
+    """Deterministic 64-bit hash of integer coordinates (splitmix-style).
+
+    Python's builtin ``hash`` is salted per process for strings and is
+    identity for small ints; this mixer gives well-spread, process-stable
+    values so schedule draws are reproducible across runs and machines.
+    """
+    h = 0x9E3779B97F4A7C15
+    for p in parts:
+        h = (h ^ (p & _MASK)) * 0xBF58476D1CE4E5B9 & _MASK
+        h = (h ^ (h >> 27)) * 0x94D049BB133111EB & _MASK
+        h ^= h >> 31
+    return h
+
+
+class Schedule:
+    """Base class: per-message extra delays in virtual time units.
+
+    ``fifo`` declares whether the schedule promises per-directed-edge
+    FIFO delivery for payloads; the engine additionally *enforces* it
+    (clamping arrival times to be non-decreasing per edge) whenever the
+    flag is set, so a wrapped non-FIFO delay source still yields a legal
+    FIFO channel.
+    """
+
+    name: str = "schedule"
+    #: Whether payload delivery on each directed edge is order-preserving.
+    fifo: bool = False
+
+    def delay(self, src: int, dst: int, pulse: int, kind: int) -> int:
+        """Extra delay (>= 0 time units) for one message."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class SynchronousSchedule(Schedule):
+    """Delay 0 everywhere: the asynchronous engine in lockstep.
+
+    Every message takes exactly the one-unit hop latency, so every node's
+    synchronizer gate resolves at the same virtual time each pulse and the
+    execution order collapses to the synchronous engine's.  Running a
+    program through the async engine under this schedule is the parity
+    anchor: the main ledger must be bit-for-bit identical to the default
+    engine's (pinned by tests and the fuzz harness).
+    """
+
+    name = "sync"
+    fifo = True
+
+    def delay(self, src: int, dst: int, pulse: int, kind: int) -> int:
+        return 0
+
+
+class RandomDelaySchedule(Schedule):
+    """Independent per-message delays, uniform on ``[0, max_delay]``.
+
+    The draw is a pure hash of ``(seed, src, dst, pulse, kind)`` — no
+    stream state — so delays do not depend on engine traversal order.
+    Payloads on one edge may overtake each other (non-FIFO): the engine's
+    resequencing layer is what keeps programs correct.
+    """
+
+    def __init__(self, seed: int = 0, max_delay: int = 3) -> None:
+        if max_delay < 0:
+            raise ValueError("max_delay must be >= 0")
+        self.seed = seed
+        self.max_delay = max_delay
+        self.name = f"random(d<={max_delay},seed={seed})"
+
+    def delay(self, src: int, dst: int, pulse: int, kind: int) -> int:
+        if self.max_delay == 0:
+            return 0
+        return _mix(self.seed, src, dst, pulse, kind) % (self.max_delay + 1)
+
+
+class SlowEdgeSchedule(Schedule):
+    """Adversarial slow edges: a seeded fraction of edges lag everything.
+
+    Each undirected edge is slow with probability ``slow_fraction``
+    (decided by a pure hash of the seed and the edge, both directions
+    alike); slow edges add ``slow_delay`` units to every message — acks
+    and safes included, so the synchronizer's handshake stalls behind the
+    same bottlenecks real asynchrony would.  Per-edge delays are constant,
+    hence FIFO.
+    """
+
+    fifo = True
+
+    def __init__(
+        self, seed: int = 0, slow_fraction: float = 0.2, slow_delay: int = 8
+    ) -> None:
+        if not 0.0 <= slow_fraction <= 1.0:
+            raise ValueError("slow_fraction must be in [0, 1]")
+        if slow_delay < 0:
+            raise ValueError("slow_delay must be >= 0")
+        self.seed = seed
+        self.slow_fraction = slow_fraction
+        self.slow_delay = slow_delay
+        self._threshold = int(slow_fraction * (1 << 32))
+        self.name = f"slow-edge(f={slow_fraction},d={slow_delay},seed={seed})"
+
+    def is_slow(self, u: int, v: int) -> bool:
+        a, b = (u, v) if u < v else (v, u)
+        return (_mix(self.seed, a, b) >> 16) % (1 << 32) < self._threshold
+
+    def delay(self, src: int, dst: int, pulse: int, kind: int) -> int:
+        return self.slow_delay if self.is_slow(src, dst) else 0
+
+
+class FIFORandomSchedule(RandomDelaySchedule):
+    """Random per-message delays with FIFO channels enforced by the engine.
+
+    Same delay distribution as :class:`RandomDelaySchedule`, but the
+    engine clamps each directed edge's payload arrivals to be
+    non-decreasing, modelling asynchronous links that reorder *across*
+    edges but never within one (the classic message-passing assumption).
+    """
+
+    fifo = True
+
+    def __init__(self, seed: int = 0, max_delay: int = 3) -> None:
+        super().__init__(seed=seed, max_delay=max_delay)
+        self.name = f"fifo-random(d<={max_delay},seed={seed})"
+
+
+#: Registry for CLI/benchmark spec strings.
+SCHEDULE_KINDS = ("sync", "random", "slow-edge", "fifo")
+
+
+def make_schedule(
+    kind: str,
+    seed: int = 0,
+    max_delay: int = 3,
+    slow_fraction: float = 0.2,
+    slow_delay: int = 8,
+) -> Schedule:
+    """Construct a schedule from a kind name (fuzzer/benchmark entry)."""
+    if kind == "sync":
+        return SynchronousSchedule()
+    if kind == "random":
+        return RandomDelaySchedule(seed=seed, max_delay=max_delay)
+    if kind == "slow-edge":
+        return SlowEdgeSchedule(
+            seed=seed, slow_fraction=slow_fraction, slow_delay=slow_delay
+        )
+    if kind == "fifo":
+        return FIFORandomSchedule(seed=seed, max_delay=max_delay)
+    raise ValueError(
+        f"unknown schedule kind {kind!r} (expected one of {SCHEDULE_KINDS})"
+    )

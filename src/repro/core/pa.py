@@ -24,9 +24,11 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..congest.async_engine import AsyncEngine
 from ..congest.engine import Engine
 from ..congest.ledger import CostLedger, RunResult
 from ..congest.network import Network
+from ..congest.schedule import Schedule, SynchronousSchedule
 from ..graphs.partitions import Partition, validate_partition
 from .aggregation import Aggregation
 from .blocks import BlockAnnotations, annotate_blocks
@@ -134,6 +136,17 @@ class PASolver:
     root:
         Optional known root for the BFS tree; if omitted a leader is
         elected distributively (flood-min).
+    schedule / async_mode:
+        Opt into asynchronous execution: every engine phase of the
+        pipeline (tree, division, shortcut, waves) runs on an
+        :class:`~repro.congest.AsyncEngine` under the given
+        :class:`~repro.congest.Schedule`.  ``async_mode=True`` alone
+        selects the delay-0 :class:`~repro.congest.SynchronousSchedule`.
+        The ledgers stay those of the synchronous cost model (delay-0 is
+        bit-for-bit the default engine — pinned by the fuzz harness);
+        the asynchrony's own cost accrues separately on
+        ``solver.engine.overhead``.  Default: off, the synchronous
+        engine, same code path bit for bit.
     """
 
     def __init__(
@@ -144,15 +157,26 @@ class PASolver:
         root: Optional[int] = None,
         strict_bits: bool = True,
         strict_edges: bool = True,
+        schedule: Optional[Schedule] = None,
+        async_mode: bool = False,
     ) -> None:
         if mode not in (RANDOMIZED, DETERMINISTIC):
             raise ValueError(f"unknown mode {mode!r}")
+        if async_mode and schedule is None:
+            schedule = SynchronousSchedule()
         self.net = net
         self.mode = mode
+        self.schedule = schedule
         self.rng = random.Random(seed)
-        self.engine = Engine(
-            net, strict_bits=strict_bits, strict_edges=strict_edges
-        )
+        if schedule is not None:
+            self.engine = AsyncEngine(
+                net, schedule=schedule,
+                strict_bits=strict_bits, strict_edges=strict_edges,
+            )
+        else:
+            self.engine = Engine(
+                net, strict_bits=strict_bits, strict_edges=strict_edges
+            )
 
         self.tree_ledger = CostLedger()
         if root is None:
@@ -377,6 +401,8 @@ def solve_pa(
     include_tree_cost: bool = True,
     solver: Optional[PASolver] = None,
     shortcut_provider: Optional[object] = None,
+    schedule: Optional[Schedule] = None,
+    async_mode: bool = False,
 ) -> PAResult:
     """One-call Part-Wise Aggregation (builds the whole pipeline).
 
@@ -387,9 +413,17 @@ def solve_pa(
     construction, sub-part division, shortcut construction, verification
     and the PA waves.  ``shortcut_provider`` selects a family-aware
     construction (see :mod:`repro.families`); ``None`` is the general
-    pipeline.
+    pipeline.  ``schedule``/``async_mode`` run the whole pipeline on the
+    asynchronous engine (see :class:`PASolver`).
     """
-    solver = solver or PASolver(net, mode=mode, seed=seed)
+    if solver is not None and (schedule is not None or async_mode):
+        raise ValueError(
+            "pass either solver or schedule/async_mode, not both "
+            "(the solver already owns its engine)"
+        )
+    solver = solver or PASolver(
+        net, mode=mode, seed=seed, schedule=schedule, async_mode=async_mode
+    )
     setup = solver.prepare(
         partition, leaders=leaders, shortcut_provider=shortcut_provider
     )

@@ -1,0 +1,35 @@
+"""Schedule-and-graph differential fuzzing for the asynchronous engine.
+
+The async engine's contract is *semantic transparency*: any program that
+runs on the synchronous engine must produce identical outputs under any
+delivery schedule, and the delay-0 schedule must be bit-for-bit
+ledger-identical.  This package turns that contract into a generator of
+randomized counterexample hunts:
+
+* :func:`repro.fuzz.harness.fuzz` draws seeded random graphs, partitions
+  and delay schedules, runs PA / MST / connected components under sync
+  vs. async execution, and checks output equivalence plus delay-0 ledger
+  parity;
+* every failure is *shrunk* (smaller graph, isolated schedule) and
+  reported as a replayable ``(graph_seed, schedule_seed)`` pair;
+* ``python -m repro.fuzz --runs 25`` is the CLI the CI fuzz step runs,
+  with ``--replay graph_seed:schedule_seed`` to reproduce a failure.
+"""
+
+from .harness import (
+    FuzzCase,
+    FuzzFailure,
+    case_for_index,
+    fuzz,
+    run_case,
+    shrink_case,
+)
+
+__all__ = [
+    "FuzzCase",
+    "FuzzFailure",
+    "case_for_index",
+    "fuzz",
+    "run_case",
+    "shrink_case",
+]

@@ -1,0 +1,306 @@
+"""The schedule-fuzzing differential harness.
+
+Each :class:`FuzzCase` is fully determined by a ``(graph_seed,
+schedule_seed)`` pair plus its explicit parameters, so any failure is
+replayable from the one line the harness prints.  A case runs one
+workload (PA, MST or connected components) four ways — on the
+synchronous engine, and on the async engine under the delay-0,
+seeded-random, adversarial slow-edge and FIFO schedules — and demands:
+
+* **output equivalence** everywhere: identical per-part aggregates and
+  per-node values (PA), identical MST edge sets (also cross-checked
+  against Kruskal), identical component labels;
+* **delay-0 ledger parity**: the async engine under
+  :class:`~repro.congest.schedule.SynchronousSchedule` must reproduce
+  the synchronous engine's phase log bit for bit — names, rounds,
+  messages and ticks per phase.
+
+Failures shrink before being reported: the graph is re-drawn at smaller
+sizes (same seeds) while the failure persists, and the failing schedule
+kind is isolated, so the replay line names the smallest configuration
+the harness could still break.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..algorithms.components import cc_labeling
+from ..algorithms.mst import minimum_spanning_tree
+from ..analysis.reference import kruskal_mst
+from ..congest.schedule import Schedule, _mix, make_schedule
+from ..core.aggregation import SUM
+from ..core.pa import DETERMINISTIC, RANDOMIZED, solve_pa
+from ..graphs.generators import (
+    grid_2d,
+    preferential_attachment,
+    random_connected,
+    random_regular,
+)
+from ..graphs.partitions import random_connected_partition
+from ..graphs.weights import with_distinct_weights
+
+ALGORITHMS = ("pa", "mst", "components")
+GRAPH_KINDS = ("grid", "random", "regular", "pref-attach")
+#: Non-trivial schedules every case must survive (delay-0 runs always).
+DELAYED_KINDS = ("random", "slow-edge", "fifo")
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One replayable differential check."""
+
+    graph_seed: int
+    schedule_seed: int
+    n: int = 24
+    algorithm: str = "pa"
+    mode: str = RANDOMIZED
+    graph_kind: str = "random"
+    #: Schedule kinds to test beyond delay-0 (shrinking narrows this).
+    schedule_kinds: Tuple[str, ...] = DELAYED_KINDS
+
+    def replay_command(self) -> str:
+        return (
+            "python -m repro.fuzz --replay "
+            f"{self.graph_seed}:{self.schedule_seed} --n {self.n} "
+            f"--algorithm {self.algorithm} --mode {self.mode} "
+            f"--graph {self.graph_kind} "
+            f"--schedules {','.join(self.schedule_kinds)}"
+        )
+
+
+@dataclass
+class FuzzFailure:
+    """A (shrunk) failing case plus what went wrong."""
+
+    case: FuzzCase
+    message: str
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "graph_seed": self.case.graph_seed,
+            "schedule_seed": self.case.schedule_seed,
+            "n": self.case.n,
+            "algorithm": self.case.algorithm,
+            "mode": self.case.mode,
+            "graph_kind": self.case.graph_kind,
+            "schedule_kinds": list(self.case.schedule_kinds),
+            "message": self.message,
+            "replay": self.case.replay_command(),
+        }
+
+
+def case_for_index(base_seed: int, index: int, max_n: int = 36) -> FuzzCase:
+    """The deterministic i-th case of a fuzz run (pure in its inputs)."""
+    graph_seed = _mix(base_seed, index, 1) % (1 << 30)
+    schedule_seed = _mix(base_seed, index, 2) % (1 << 30)
+    algorithm = ALGORITHMS[index % len(ALGORITHMS)]
+    # Mode is drawn from an independent hash, NOT from the same modulus
+    # as the algorithm rotation — otherwise deterministic mode would only
+    # ever pair with one workload and the matrix would have blind cells.
+    mode = DETERMINISTIC if _mix(base_seed, index, 5) % 3 == 2 else RANDOMIZED
+    graph_kind = GRAPH_KINDS[_mix(base_seed, index, 3) % len(GRAPH_KINDS)]
+    low = 10
+    n = low + _mix(base_seed, index, 4) % max(1, max_n - low + 1)
+    # MST runs three engine pipelines per Boruvka phase; keep it smaller.
+    if algorithm == "mst":
+        n = min(n, 28)
+    return FuzzCase(
+        graph_seed=graph_seed, schedule_seed=schedule_seed, n=n,
+        algorithm=algorithm, mode=mode, graph_kind=graph_kind,
+    )
+
+
+def build_network(case: FuzzCase):
+    """The case's graph (weighted — MST needs it, the others ignore it)."""
+    n = max(6, case.n)
+    seed = case.graph_seed
+    if case.graph_kind == "grid":
+        cols = max(2, int(n ** 0.5))
+        rows = max(2, n // cols)
+        net = grid_2d(rows, cols, uid_seed=seed)
+    elif case.graph_kind == "regular":
+        degree = 3
+        m = n if n * degree % 2 == 0 else n + 1
+        net = random_regular(m, degree, seed=seed, uid_seed=seed)
+    elif case.graph_kind == "pref-attach":
+        net = preferential_attachment(n, attach=2, seed=seed, uid_seed=seed)
+    else:
+        net = random_connected(n, 0.08, seed=seed, uid_seed=seed)
+    return with_distinct_weights(net, seed=seed)
+
+
+def schedules_for(case: FuzzCase) -> List[Schedule]:
+    """The delayed schedules of this case, all seeded replayably.
+
+    Each kind's seed is derived from its *canonical* index, not its
+    position in ``schedule_kinds`` — so a shrunk case that isolates one
+    kind replays the exact same delays that kind drew in the full run.
+    """
+    out: List[Schedule] = []
+    for kind in case.schedule_kinds:
+        seed = _mix(case.schedule_seed, DELAYED_KINDS.index(kind)) % (1 << 30)
+        out.append(
+            make_schedule(
+                kind, seed=seed,
+                max_delay=1 + seed % 6,
+                slow_fraction=0.15 + (seed % 4) * 0.1,
+                slow_delay=2 + seed % 8,
+            )
+        )
+    return out
+
+
+def _phase_log(ledger) -> List[Tuple[str, int, int, int]]:
+    return [(p.name, p.rounds, p.messages, p.ticks) for p in ledger.phases()]
+
+
+def _run_workload(case: FuzzCase, net, partition, values,
+                  schedule: Optional[Schedule], async_mode: bool):
+    """Run the case's algorithm; return (output, ledger)."""
+    seed = case.graph_seed % 997
+    if case.algorithm == "pa":
+        res = solve_pa(
+            net, partition, values, SUM, mode=case.mode, seed=seed,
+            schedule=schedule, async_mode=async_mode,
+        )
+        return (dict(res.aggregates), list(res.value_at_node)), res.ledger
+    if case.algorithm == "mst":
+        res = minimum_spanning_tree(
+            net, mode=case.mode, seed=seed,
+            schedule=schedule, async_mode=async_mode,
+        )
+        return res.output, res.ledger
+    if case.algorithm == "components":
+        subgraph = [e for i, e in enumerate(net.edges) if i % 3 != 0]
+        res = cc_labeling(
+            net, subgraph, mode=case.mode, seed=seed,
+            schedule=schedule, async_mode=async_mode,
+        )
+        return list(res.output), res.ledger
+    raise ValueError(f"unknown algorithm {case.algorithm!r}")
+
+
+def run_case(case: FuzzCase) -> Optional[str]:
+    """Run one differential check; None on success, else what failed."""
+    try:
+        net = build_network(case)
+        partition = random_connected_partition(
+            net, max(2, min(6, net.n // 5)), seed=case.graph_seed
+        )
+        values = [(v * 7 + 3) % 101 for v in range(net.n)]
+
+        base_out, base_ledger = _run_workload(
+            case, net, partition, values, schedule=None, async_mode=False
+        )
+        if case.algorithm == "mst" and base_out != frozenset(kruskal_mst(net)):
+            return "sync MST does not match the Kruskal oracle"
+
+        zero_out, zero_ledger = _run_workload(
+            case, net, partition, values, schedule=None, async_mode=True
+        )
+        if zero_out != base_out:
+            return "delay-0 async output differs from the synchronous engine"
+        if _phase_log(zero_ledger) != _phase_log(base_ledger):
+            sync_log, async_log = _phase_log(base_ledger), _phase_log(zero_ledger)
+            diff = next(
+                (pair for pair in zip(sync_log, async_log) if pair[0] != pair[1]),
+                (("<length>", len(sync_log)), ("<length>", len(async_log))),
+            )
+            return f"delay-0 ledger parity broken: {diff[0]} != {diff[1]}"
+
+        for schedule in schedules_for(case):
+            sched_out, _ = _run_workload(
+                case, net, partition, values, schedule=schedule,
+                async_mode=False,
+            )
+            if sched_out != base_out:
+                return f"output diverged under schedule {schedule.name}"
+        return None
+    except Exception as exc:  # a crash is a finding, not a harness error
+        return f"{type(exc).__name__}: {exc}"
+
+
+def shrink_case(
+    case: FuzzCase,
+    check: Callable[[FuzzCase], Optional[str]] = run_case,
+) -> Tuple[FuzzCase, str]:
+    """Minimize a failing case; returns (smallest failing case, message).
+
+    Two shrink axes, both preserving the replay seeds: the graph size is
+    walked down while the failure persists, and the failing schedule
+    kind is isolated (a delay-0/oracle failure keeps all kinds — they
+    never ran or all passed).
+    """
+    message = check(case)
+    if message is None:
+        raise ValueError("shrink_case requires a failing case")
+    # Axis 1: graph size (halving, then linear refinement).
+    current = case
+    n = case.n
+    while n > 8:
+        candidate = replace(current, n=max(8, n // 2))
+        failed = check(candidate)
+        if failed is None:
+            break
+        current, message, n = candidate, failed, candidate.n
+    step = max(1, current.n // 4)
+    while step and current.n > 8:
+        candidate = replace(current, n=max(8, current.n - step))
+        failed = check(candidate)
+        if failed is not None and candidate.n < current.n:
+            current, message = candidate, failed
+        else:
+            step //= 2
+    # Axis 2: isolate a single failing schedule kind.
+    for kind in current.schedule_kinds:
+        candidate = replace(current, schedule_kinds=(kind,))
+        failed = check(candidate)
+        if failed is not None:
+            current, message = candidate, failed
+            break
+    return current, message
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of a fuzz run."""
+
+    runs: int
+    failures: List[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def fuzz(
+    runs: int = 10,
+    base_seed: int = 0,
+    max_n: int = 36,
+    shrink: bool = True,
+    log: Optional[Callable[[str], None]] = None,
+) -> FuzzReport:
+    """Run ``runs`` seeded differential cases; shrink and report failures."""
+    report = FuzzReport(runs=runs)
+    for index in range(runs):
+        case = case_for_index(base_seed, index, max_n=max_n)
+        message = run_case(case)
+        if message is None:
+            if log:
+                log(
+                    f"[fuzz] ok   #{index} {case.algorithm}/{case.mode} "
+                    f"{case.graph_kind} n={case.n} "
+                    f"seeds={case.graph_seed}:{case.schedule_seed}"
+                )
+            continue
+        if shrink:
+            case, message = shrink_case(case)
+        report.failures.append(FuzzFailure(case=case, message=message))
+        if log:
+            log(
+                f"[fuzz] FAIL #{index}: {message}\n"
+                f"        replay: {case.replay_command()}"
+            )
+    return report

@@ -42,11 +42,13 @@ bit for bit — pinned by tests/runtime/test_session.py.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..congest.ledger import CostLedger
 from ..congest.network import Network
+from ..congest.schedule import Schedule
 from ..core.aggregation import Aggregation
 from ..core.blocks import annotate_blocks
 from ..core.corefast import verify_block_parameters
@@ -75,6 +77,7 @@ class SessionStats:
     rebuilds: int = 0          # coarsenings rejected by re-verification
     solves: int = 0            # single-aggregate solves
     batched_solves: int = 0    # aggregations folded into shared wave passes
+    evictions: int = 0         # cache entries dropped by the LRU bound
 
     def as_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
@@ -133,6 +136,20 @@ class PASession:
         Enable setup caching and incremental coarsening.
     batch:
         Enable single-wave multi-aggregate solves in :meth:`solve_many`.
+    max_entries:
+        Bound the setup cache (``None`` = unbounded, the historical
+        behavior).  When the bound is exceeded the least-recently-used
+        entry is evicted — coarsened entries first; *pinned* entries
+        (setups built by a full ``prepare``, the loop-entry partitions
+        that phase loops revisit) survive as long as any unpinned entry
+        can be evicted instead, and only fall to LRU among themselves
+        once the cache is all pinned.
+    schedule / async_mode:
+        Run every engine phase asynchronously under a
+        :class:`~repro.congest.Schedule` (``async_mode=True`` alone
+        selects the delay-0 schedule); see
+        :class:`~repro.core.pa.PASolver`.  The synchronizer's separate
+        accounting is exposed as :attr:`async_overhead`.
     solver:
         Adopt an existing solver (its engine, tree and rng state) instead
         of constructing one — how the ``solver=`` arguments of the
@@ -153,6 +170,9 @@ class PASession:
         claim_small: bool = False,
         reuse: bool = False,
         batch: bool = False,
+        max_entries: Optional[int] = None,
+        schedule: Optional[Schedule] = None,
+        async_mode: bool = False,
         solver: Optional[PASolver] = None,
     ) -> None:
         if family is not None:
@@ -166,7 +186,14 @@ class PASession:
                 family, param=family_param, claim_small=claim_small
             )
         self.shortcut_provider = shortcut_provider
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None for unbounded)")
         if solver is not None:
+            if schedule is not None or async_mode:
+                raise ValueError(
+                    "pass either solver or schedule/async_mode, not both "
+                    "(the solver already owns its engine)"
+                )
             if solver.net is not net:
                 theirs, mine = solver.net, net
                 their_csr = theirs.adjacency_csr()
@@ -186,17 +213,21 @@ class PASession:
             self.solver = PASolver(
                 net, mode=mode, seed=seed, root=root,
                 strict_bits=strict_bits, strict_edges=strict_edges,
+                schedule=schedule, async_mode=async_mode,
             )
         self.reuse = reuse
         self.batch = batch
+        self.max_entries = max_entries
         self.stats = SessionStats()
-        self._cache: Dict[Fingerprint, PASetup] = {}
+        # Recency-ordered memo (oldest first); bounded by ``max_entries``.
+        self._cache: "OrderedDict[Fingerprint, PASetup]" = OrderedDict()
         # Keys whose entries came from coarsening.  Partitions only ever
         # coarsen forward inside a phase loop, so once a coarsened setup
         # is superseded by the next coarsening it can never be requested
         # again and is evicted; full-prepare entries (loop entry points
         # like the singleton partition, revisited across min-cut packing
-        # trees) are kept for the session's lifetime.
+        # trees) are *pinned*: under the LRU bound they are evicted only
+        # when no coarsened entry is left to evict instead.
         self._coarsened_keys: set = set()
 
     # -- conveniences the algorithms lean on ---------------------------
@@ -220,10 +251,49 @@ class PASession:
     def tree_ledger(self) -> CostLedger:
         return self.solver.tree_ledger
 
+    @property
+    def async_overhead(self) -> Optional[CostLedger]:
+        """The async engine's synchronizer ledger (None when synchronous).
+
+        Per phase: ``rounds`` holds virtual time-units, ``messages`` the
+        ack/safe control messages — see docs/architecture.md,
+        "Asynchronous execution".
+        """
+        return getattr(self.solver.engine, "overhead", None)
+
     def clear_cache(self) -> None:
         """Drop all memoized setups (e.g. between unrelated workloads)."""
         self._cache.clear()
         self._coarsened_keys.clear()
+
+    # -- cache mechanics (LRU bound + loop-entry pinning) ---------------
+    def _cache_lookup(self, key: Fingerprint) -> Optional[PASetup]:
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+        return cached
+
+    def _cache_store(self, key: Fingerprint, setup: PASetup) -> None:
+        self._cache[key] = setup
+        self._cache.move_to_end(key)
+        if self.max_entries is None:
+            return
+        while len(self._cache) > self.max_entries:
+            # Evict the least-recently-used *unpinned* (coarsened) entry;
+            # pinned loop-entry setups go only when nothing else is left.
+            # The entry just stored is never its own victim.
+            victim = None
+            for k in self._cache:
+                if k != key and k in self._coarsened_keys:
+                    victim = k
+                    break
+            if victim is None:
+                victim = next((k for k in self._cache if k != key), None)
+            if victim is None:
+                break
+            self._cache.pop(victim)
+            self._coarsened_keys.discard(victim)
+            self.stats.evictions += 1
 
     # ------------------------------------------------------------------
     def block_budget(self) -> int:
@@ -261,7 +331,7 @@ class PASession:
                 shortcut_provider=self.shortcut_provider,
             )
         key = partition_fingerprint(partition, leaders)
-        cached = self._cache.get(key)
+        cached = self._cache_lookup(key)
         if cached is not None:
             self.stats.cache_hits += 1
             return replace(cached, setup_ledger=CostLedger())
@@ -272,7 +342,7 @@ class PASession:
             block_target=block_target, validate=validate,
             shortcut_provider=self.shortcut_provider,
         )
-        self._cache[key] = setup
+        self._cache_store(key, setup)
         return setup
 
     def prepare_incremental(
@@ -293,7 +363,7 @@ class PASession:
         if not self.reuse or previous is None:
             return self.prepare(partition, leaders=leaders)
         key = partition_fingerprint(partition, leaders)
-        cached = self._cache.get(key)
+        cached = self._cache_lookup(key)
         if cached is not None:
             self.stats.cache_hits += 1
             return replace(cached, setup_ledger=CostLedger())
@@ -301,8 +371,8 @@ class PASession:
         if pid_map is None:
             return self.prepare(partition, leaders=leaders)
         setup = self.coarsen(previous, partition, pid_map, leaders=leaders)
-        self._cache[key] = setup
         self._coarsened_keys.add(key)
+        self._cache_store(key, setup)
         # The previous link of a coarsening chain is superseded: comp
         # labels only merge forward, so its partition cannot recur (the
         # no-merge retry re-presents the *latest* partition, which is the
@@ -480,15 +550,18 @@ def ensure_session(
     shortcut_provider: Optional[object] = None,
     family: Optional[str] = None,
     family_param: Optional[int] = None,
+    schedule: Optional[Schedule] = None,
+    async_mode: bool = False,
 ) -> PASession:
     """The algorithms' session acquisition: adopt, wrap, or construct.
 
-    * ``session`` given — use it (``solver``/provider arguments must not
-      contradict it);
+    * ``session`` given — use it (``solver``/provider/schedule arguments
+      must not contradict it);
     * ``solver`` given — wrap it in a default session (reuse/batch off),
       preserving the historical ``solver=`` sharing contract bit for bit;
     * neither — construct ``PASolver(net, mode, seed)`` exactly as the
-      algorithms always have, behind a default session.
+      algorithms always have, behind a default session
+      (``schedule``/``async_mode`` select the asynchronous engine).
     """
     if session is not None:
         if solver is not None and solver is not session.solver:
@@ -497,9 +570,14 @@ def ensure_session(
             raise ValueError(
                 "a provider/family is configured on the session itself"
             )
+        if schedule is not None or async_mode:
+            raise ValueError(
+                "a schedule is configured on the session itself; do not "
+                "also pass schedule/async_mode to the algorithm"
+            )
         return session
     return PASession(
         net, mode=mode, seed=seed, solver=solver,
         shortcut_provider=shortcut_provider, family=family,
-        family_param=family_param,
+        family_param=family_param, schedule=schedule, async_mode=async_mode,
     )
