@@ -18,9 +18,10 @@ reported for the reuse experiment because the *simulator's* speed is the
 claim under test there; ledger rounds/messages stay the headline metrics
 and the regression-gate contract.  The >=1.5x wall assertion is enforced
 by default on local runs but can be lifted with
-``REPRO_SESSION_WALL_GATE=0`` — CI sets that, consistent with the
-repo-wide rule that wall times are hardware facts and are never gated
-there (the deterministic ledger assertions always run).
+``REPRO_SESSION_WALL_GATE=0`` — CI sets that, and the bench runner's
+``--jobs`` pool sets it in its workers, consistent with the repo-wide
+rule that wall times are hardware facts and are never gated where
+timing is noisy (the deterministic ledger assertions always run).
 """
 
 import math

@@ -65,6 +65,7 @@ def cc_labeling(
     family: Optional[str] = None,
     schedule: Optional[Schedule] = None,
     async_mode: bool = False,
+    engine_impl: str = "array",
 ) -> RunResult:
     """Label H-components with their minimum member uid, via one PA solve.
 
@@ -77,7 +78,7 @@ def cc_labeling(
     session = ensure_session(
         session, net, mode=mode, seed=seed, solver=solver,
         shortcut_provider=shortcut_provider, family=family,
-        schedule=schedule, async_mode=async_mode,
+        schedule=schedule, async_mode=async_mode, engine_impl=engine_impl,
     )
     solver = session.solver
     partition = components_partition(net, subgraph_edges)

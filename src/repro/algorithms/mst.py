@@ -93,6 +93,7 @@ def minimum_spanning_tree(
     family: Optional[str] = None,
     schedule: Optional[Schedule] = None,
     async_mode: bool = False,
+    engine_impl: str = "array",
 ) -> RunResult:
     """Distributed MST; returns the edge set with a fully metered ledger.
 
@@ -109,7 +110,7 @@ def minimum_spanning_tree(
     session = ensure_session(
         session, net, mode=mode, seed=seed, solver=solver,
         shortcut_provider=shortcut_provider, family=family,
-        schedule=schedule, async_mode=async_mode,
+        schedule=schedule, async_mode=async_mode, engine_impl=engine_impl,
     )
     solver = session.solver
     rng = random.Random(seed ^ 0xB0B)

@@ -251,6 +251,17 @@ def _run_file_worker(task: Tuple[str, bool]) -> List[ExperimentResult]:
     return run_file(Path(path_str), quiet=quiet)
 
 
+def _init_parallel_worker() -> None:
+    """Lift wall-clock assertions inside pool workers.
+
+    Parallel sweeps contend for cores, so wall times measured there are
+    as untrustworthy as CI's — the same rule applies: deterministic
+    ledger assertions always run, wall-ratio gates do not.  An explicit
+    REPRO_SESSION_WALL_GATE from the caller still wins.
+    """
+    os.environ.setdefault("REPRO_SESSION_WALL_GATE", "0")
+
+
 def resolve_jobs(jobs: str) -> int:
     """Turn a ``--jobs`` argument into a worker count.
 
@@ -289,7 +300,10 @@ def run_all(
         from concurrent.futures import ProcessPoolExecutor
 
         results: List[ExperimentResult] = []
-        with ProcessPoolExecutor(max_workers=min(jobs, len(paths))) as pool:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(paths)),
+            initializer=_init_parallel_worker,
+        ) as pool:
             # executor.map preserves submission order: the merged list is
             # deterministic even though workers finish out of order.
             for path, file_results in zip(

@@ -311,6 +311,40 @@ class BulkProgram(Program):
         raise NotImplementedError
 
 
+class ArrayProgram(Program):
+    """A program whose whole-tick transition is a numpy kernel.
+
+    Where a :class:`BulkProgram` still receives Python inboxes, an
+    ``ArrayProgram`` receives the tick's entire delivered traffic as flat
+    int64 columns (:class:`~repro.congest.arrays.Delivered`) and emits
+    next-tick batches through an
+    :class:`~repro.congest.arrays.ArrayContext`.  The engine routes these
+    programs through the array run loop
+    (:func:`~repro.congest.arrays.run_array_phase`), whose metering,
+    audits and activation order are bit-for-bit those of the scalar loop.
+
+    Kernels must emit messages in exactly the order their scalar twin
+    would have called ``ctx.send`` — the delivery sort is stable, so this
+    is what makes the two engines' inbox orders (and hence ledgers and
+    outputs) coincide.
+    """
+
+    name = "array_program"
+
+    def array_start(self, actx) -> None:
+        """Inject tick-1 emissions and wakeups (the ``on_start`` twin)."""
+
+    def array_tick(self, actx, delivered) -> None:
+        """Process one tick's delivered batch (the per-tick transition)."""
+        raise NotImplementedError
+
+    def on_node(self, ctx: Context, node: int, inbox: Inbox) -> None:
+        raise TypeError(
+            f"{type(self).__name__} is array-native; the scalar engine "
+            "cannot run it node-by-node"
+        )
+
+
 class Engine:
     """Runs programs on a network and meters their cost.
 
@@ -335,6 +369,14 @@ class Engine:
         in-flight messages, activation counts) to every returned
         :class:`~repro.congest.ledger.PhaseStats`.  Off by default; the
         cost-model numbers are identical either way.
+    use_arrays:
+        Advertise that phases on this engine should prefer array-native
+        kernels.  The flag does not change how any given program runs —
+        an :class:`ArrayProgram` always takes the array loop, a scalar
+        program the scalar loop — it is how orchestrators (which own the
+        choice of program per phase) learn which implementation the
+        caller selected.  Ledgers are identical either way; that is the
+        parity contract the differential suite pins.
     """
 
     def __init__(
@@ -343,6 +385,7 @@ class Engine:
         strict_bits: bool = True,
         profile: bool = False,
         strict_edges: bool = True,
+        use_arrays: bool = False,
     ) -> None:
         if not strict_edges and strict_bits:
             raise ValueError(
@@ -353,6 +396,7 @@ class Engine:
         self.strict_bits = strict_bits
         self.strict_edges = strict_edges
         self.profile = profile
+        self.use_arrays = use_arrays
         #: Double-buffered per-node mailbox arenas, allocated lazily and
         #: reused across phases (every tick leaves all mailboxes empty, so
         #: reuse is free): one arena is being delivered while programs
@@ -388,6 +432,15 @@ class Engine:
         """
         phase_name = name or program.name
         want_profile = self.profile if profile is None else profile
+        if isinstance(program, ArrayProgram):
+            # Array-native phases own their (numpy) state; the scalar
+            # mailbox arenas are neither needed nor touched.
+            from .arrays import run_array_phase
+
+            return run_array_phase(
+                self, program, max_ticks, capacity,
+                rounds_per_tick, phase_name, want_profile,
+            )
         n = self.network.n
         # Double-buffered mailbox arenas: programs (via the Context) fill
         # one while the engine delivers from the other; each tick swaps

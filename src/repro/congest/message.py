@@ -16,6 +16,11 @@ from __future__ import annotations
 
 from typing import Any, Dict
 
+try:  # numpy is optional for the scalar engine, required by the array one
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    _np = None  # type: ignore[assignment]
+
 #: How many "machine words" of ceil(log2 n) bits one message may carry.
 #: The model's O(log n) bits hides a constant; 16 words is generous enough
 #: for every algorithm in the paper (a message never carries more than a
@@ -48,7 +53,15 @@ def payload_bits(payload: Any) -> int:
     O(log n)-bit fixed-point quantities), ``str`` tags, and tuples of these.
     Anything else raises ``TypeError`` so that non-serializable state cannot
     masquerade as a network message.
+
+    Numpy scalars are charged as the Python value they wrap: a wire format
+    does not care whether the sender's register was an ``np.int64`` or an
+    ``int``, so ``np.int64(1)``, ``1`` and ``True`` all cost 1 bit.  Arrays
+    (``ndim > 0``) remain unsupported — shipping a whole vector in one
+    message is exactly the bug the bit audit exists to catch.
     """
+    if _np is not None and isinstance(payload, _np.generic):
+        payload = payload.item()
     if payload is None:
         return 1
     if payload is True or payload is False:

@@ -200,6 +200,39 @@ class Network:
         return frozenset(self.edges)
 
     @cached_property
+    def array_views(self) -> "NetworkArrays":
+        """Flat numpy views of the topology for the array-native engine.
+
+        Derived once from the same CSR storage the scalar paths walk, so
+        both engines see byte-identical structure.  See
+        :class:`NetworkArrays` for the exact layout.
+        """
+        import numpy as np
+
+        offsets = np.frombuffer(self._offsets, dtype=np.intc).astype(np.int64)
+        adj = (
+            np.frombuffer(self._adj, dtype=np.intc).astype(np.int64)
+            if len(self._adj)
+            else np.empty(0, dtype=np.int64)
+        )
+        degrees = np.diff(offsets)
+        src_of_slot = np.repeat(np.arange(self.n, dtype=np.int64), degrees)
+        # Directed-edge keys src * n + dst for every CSR slot.  Slots are
+        # grouped by ascending src and each group lists dst ascending, so
+        # the key array is already sorted — searchsorted gives O(log m)
+        # membership without a hash table.
+        edge_keys = src_of_slot * self.n + adj
+        uid = np.array(self.uid, dtype=np.int64)
+        return NetworkArrays(
+            offsets=offsets,
+            adj=adj,
+            degrees=degrees,
+            src_of_slot=src_of_slot,
+            edge_keys=edge_keys,
+            uid=uid,
+        )
+
+    @cached_property
     def uid(self) -> Tuple[int, ...]:
         """KT0 unique ids: a seeded random permutation of [n, 2n)."""
         rng = random.Random(self._uid_seed)
@@ -328,6 +361,28 @@ class Network:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "weighted" if self.weights is not None else "unweighted"
         return f"Network(n={self.n}, m={self.m}, {kind})"
+
+
+class NetworkArrays:
+    """Numpy mirrors of a :class:`Network`'s CSR topology.
+
+    ``adj[offsets[v]:offsets[v + 1]]`` lists v's neighbors ascending (the
+    same slots as ``adjacency_csr``), ``src_of_slot[k]`` is the node whose
+    slice slot ``k`` belongs to, and ``edge_keys`` packs each slot's
+    directed edge as ``src * n + dst`` in globally ascending order (so
+    ``np.searchsorted`` is an exact edge-membership test).  All arrays are
+    int64 and must be treated as immutable.
+    """
+
+    __slots__ = ("offsets", "adj", "degrees", "src_of_slot", "edge_keys", "uid")
+
+    def __init__(self, offsets, adj, degrees, src_of_slot, edge_keys, uid) -> None:
+        self.offsets = offsets
+        self.adj = adj
+        self.degrees = degrees
+        self.src_of_slot = src_of_slot
+        self.edge_keys = edge_keys
+        self.uid = uid
 
 
 def network_from_networkx(graph, uid_seed: int = 0x5EED) -> Network:

@@ -1,0 +1,432 @@
+"""Array-native kernels for the tree workhorses of :mod:`repro.core.treeops`.
+
+Each kernel is the :class:`~repro.congest.engine.ArrayProgram` twin of one
+scalar program — same name, same wire traffic, same ledger, same outputs —
+with the per-message Python loop replaced by whole-tick numpy passes.  The
+scalar programs remain the semantic reference; the differential parity
+suite runs both and diffs ledgers and outputs.
+
+A note on emission order: the scalar programs interleave sends per node
+(e.g. a claim-BFS node acks its parent, then spreads).  All programs in
+this module send at most one message per directed edge per tick, and the
+engine's delivery sort is keyed on ``(dst, src)`` — so any batch emission
+order is delivered identically, and the kernels are free to emit "all
+acks, then all claims".  Kernels for the multi-packet-per-edge queue
+discipline live in :mod:`repro.core.array_queue`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..congest.arrays import ArrayContext, ColumnArena, Delivered, int_bits_array
+from ..congest.engine import ArrayProgram
+from ..congest.message import TAG_BITS, TUPLE_OVERHEAD_BITS
+from ..congest.network import Network
+from .trees import ABSENT, ROOT, RootedForest
+
+#: ``best`` sentinel larger than any token the kernels carry (uids < 2n).
+_NO_TOKEN = np.int64(1) << np.int64(62)
+
+
+def expand_neighbors(
+    arrays, nodes: np.ndarray, slot_mask: Optional[np.ndarray] = None
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """CSR fan-out: one row per (node, neighbor) pair, node order preserved.
+
+    Returns ``(src, dst, slot)`` where ``slot`` indexes the CSR slot of
+    each row; rows follow ``nodes`` order with each node's neighbors
+    ascending — exactly the scalar programs' send order.  ``slot_mask``
+    (a per-CSR-slot bool array) filters rows without reordering.
+    """
+    counts = arrays.degrees[nodes]
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, empty
+    starts = arrays.offsets[nodes]
+    cum = np.cumsum(counts)
+    slot = (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(cum - counts, counts)
+        + np.repeat(starts, counts)
+    )
+    src = np.repeat(nodes, counts)
+    dst = arrays.adj[slot]
+    if slot_mask is not None:
+        keep = slot_mask[slot]
+        return src[keep], dst[keep], slot[keep]
+    return src, dst, slot
+
+
+class FloodMinArrayKernel(ArrayProgram):
+    """Array twin of :class:`~repro.core.treeops.FloodMinProgram`.
+
+    Tokens must be ints.  Adoption is strict improvement; the parent is
+    the smallest sender among those carrying the tick's minimal token —
+    which is what the scalar inbox scan (sender-ascending, update on
+    strict improvement) converges to.
+    """
+
+    name = "flood_min"
+
+    def __init__(
+        self,
+        net: Network,
+        nodes: np.ndarray,
+        tokens: np.ndarray,
+        slot_mask: Optional[np.ndarray] = None,
+    ) -> None:
+        self.net = net
+        self._nodes = np.asarray(nodes, dtype=np.int64)
+        self._tokens = np.asarray(tokens, dtype=np.int64)
+        self._mask = slot_mask
+        self.best_array = np.full(net.n, _NO_TOKEN, dtype=np.int64)
+        self.parent_array = np.full(net.n, ABSENT, dtype=np.int64)
+
+    def _announce(self, actx: ArrayContext, nodes: np.ndarray) -> None:
+        src, dst, _ = expand_neighbors(actx.arrays, nodes, self._mask)
+        if src.size == 0:
+            return
+        tok = self.best_array[src]
+        bits = int_bits_array(tok) if actx.strict_bits else None
+        actx.emit(src, dst, cols={"tok": tok}, bits=bits)
+
+    def array_start(self, actx: ArrayContext) -> None:
+        self.best_array[self._nodes] = self._tokens
+        self.parent_array[self._nodes] = ROOT
+        self._announce(actx, self._nodes)
+
+    def array_tick(self, actx: ArrayContext, d: Delivered) -> None:
+        if len(d) == 0:
+            return
+        tok = d.cols["tok"]
+        # Per-destination winner: minimal (token, sender).
+        order = np.lexsort((d.src, tok, d.dst))
+        dst_sorted = d.dst[order]
+        head = np.ones(dst_sorted.size, dtype=bool)
+        head[1:] = dst_sorted[1:] != dst_sorted[:-1]
+        win = order[head]
+        w_dst = d.dst[win]
+        w_tok = tok[win]
+        improved = w_tok < self.best_array[w_dst]
+        if not improved.any():
+            return
+        w_dst = w_dst[improved]
+        self.best_array[w_dst] = w_tok[improved]
+        self.parent_array[w_dst] = d.src[win][improved]
+        # w_dst is ascending (head rows of a dst-sorted order), matching
+        # the scalar activation order of the re-announcing nodes.
+        self._announce(actx, w_dst)
+
+    @property
+    def best(self) -> Dict[int, int]:
+        """Scalar-compatible ``best`` dict (nodes that hold a token)."""
+        held = np.flatnonzero(self.best_array != _NO_TOKEN)
+        return dict(zip(held.tolist(), self.best_array[held].tolist()))
+
+    @property
+    def parent_of(self) -> Dict[int, int]:
+        held = np.flatnonzero(self.parent_array != ABSENT)
+        return dict(zip(held.tolist(), self.parent_array[held].tolist()))
+
+
+class ChildAckArrayKernel(ArrayProgram):
+    """Array twin of the one-round parent-ack used after leader election."""
+
+    name = "child_ack"
+
+    def __init__(self, parent: np.ndarray) -> None:
+        self._parent = np.asarray(parent, dtype=np.int64)
+
+    def array_start(self, actx: ArrayContext) -> None:
+        src = np.flatnonzero(self._parent >= 0)
+        if src.size == 0:
+            return
+        bits = TUPLE_OVERHEAD_BITS + TAG_BITS if actx.strict_bits else None
+        actx.emit(src, self._parent[src], cols={}, bits=bits)
+
+    def array_tick(self, actx: ArrayContext, d: Delivered) -> None:
+        return  # receipt is the whole point
+
+
+class ClaimBfsArrayKernel(ArrayProgram):
+    """Array twin of :class:`~repro.core.treeops.ClaimBfsProgram`.
+
+    ``sources``/``tokens`` are parallel arrays in the scalar program's
+    token-dict insertion order; tokens must be ints.  The edge restriction
+    is a static per-CSR-slot mask (the scalar ``allowed`` callables used
+    by the pipeline — same-part, claimable — are all static predicates).
+    """
+
+    name = "claim_bfs"
+
+    def __init__(
+        self,
+        net: Network,
+        sources: np.ndarray,
+        tokens: np.ndarray,
+        slot_mask: Optional[np.ndarray] = None,
+        max_depth: Optional[int] = None,
+    ) -> None:
+        self.net = net
+        self._sources = np.asarray(sources, dtype=np.int64)
+        self._tokens = np.asarray(tokens, dtype=np.int64)
+        self._mask = slot_mask
+        self.max_depth = max_depth
+        n = net.n
+        self.claimed = np.zeros(n, dtype=bool)
+        self.token_array = np.full(n, _NO_TOKEN, dtype=np.int64)
+        self.parent_array = np.full(n, ABSENT, dtype=np.int64)
+        self.depth_array = np.full(n, -1, dtype=np.int64)
+        self._child_rows = ColumnArena(("parent", "child"), capacity=256)
+        self._lists: Optional[List[List[int]]] = None
+        # Scalar-compatible list views, memoized: consumers index them per
+        # node (O(n) accesses), so rebuilding on every property read would
+        # be quadratic.  Invalidated whenever a tick mutates claim state.
+        self._token_list: Optional[List[Optional[int]]] = None
+        self._parent_list: Optional[List[int]] = None
+        self._depth_list: Optional[List[int]] = None
+
+    # -- emission helpers ------------------------------------------------
+    def _spread(self, actx: ArrayContext, nodes: np.ndarray) -> None:
+        """Claims from ``nodes`` (in order) to allowed non-parent neighbors."""
+        if self.max_depth is not None:
+            nodes = nodes[self.depth_array[nodes] < self.max_depth]
+        src, dst, _ = expand_neighbors(actx.arrays, nodes, self._mask)
+        if src.size == 0:
+            return
+        keep = dst != self.parent_array[src]
+        src, dst = src[keep], dst[keep]
+        if src.size == 0:
+            return
+        tok = self.token_array[src]
+        dep = self.depth_array[src] + 1
+        bits = None
+        if actx.strict_bits:
+            bits = (
+                TUPLE_OVERHEAD_BITS
+                + TAG_BITS
+                + int_bits_array(tok)
+                + int_bits_array(dep)
+            )
+        actx.emit(src, dst, cols={"kind": 0, "tok": tok, "dep": dep}, bits=bits)
+
+    def array_start(self, actx: ArrayContext) -> None:
+        self.claimed[self._sources] = True
+        self.token_array[self._sources] = self._tokens
+        self.parent_array[self._sources] = ROOT
+        self.depth_array[self._sources] = 0
+        self._spread(actx, self._sources)
+
+    def array_tick(self, actx: ArrayContext, d: Delivered) -> None:
+        if len(d) == 0:
+            return
+        kind = d.cols["kind"]
+        acks = kind == 1
+        if acks.any():
+            # Delivered order is (dst asc, src asc): exactly the order the
+            # scalar program appends to children_of.
+            self._child_rows.append(parent=d.dst[acks], child=d.src[acks])
+            self._lists = None
+        claims = np.flatnonzero((kind == 0) & ~self.claimed[d.dst])
+        if claims.size == 0:
+            return
+        c_src = d.src[claims]
+        c_dst = d.dst[claims]
+        c_tok = d.cols["tok"][claims]
+        c_dep = d.cols["dep"][claims]
+        # Winner per destination: minimal (token, depth, sender) — the
+        # scalar node's best-candidate scan.
+        order = np.lexsort((c_src, c_dep, c_tok, c_dst))
+        dst_sorted = c_dst[order]
+        head = np.ones(dst_sorted.size, dtype=bool)
+        head[1:] = dst_sorted[1:] != dst_sorted[:-1]
+        win = order[head]
+        nodes = c_dst[win]
+        parents = c_src[win]
+        self.claimed[nodes] = True
+        self.token_array[nodes] = c_tok[win]
+        self.parent_array[nodes] = parents
+        self.depth_array[nodes] = c_dep[win]
+        self._token_list = self._parent_list = self._depth_list = None
+        # Ack the chosen parent (("child", token)), then spread claims.
+        bits = None
+        if actx.strict_bits:
+            bits = (
+                TUPLE_OVERHEAD_BITS + TAG_BITS + int_bits_array(c_tok[win])
+            )
+        actx.emit(
+            nodes, parents, cols={"kind": 1, "tok": c_tok[win], "dep": 0},
+            bits=bits,
+        )
+        self._spread(actx, nodes)
+
+    # -- scalar-compatible outputs --------------------------------------
+    @property
+    def token_of(self) -> List[Optional[int]]:
+        if self._token_list is None:
+            tokens = self.token_array.tolist()
+            self._token_list = [
+                tokens[v] if claimed else None
+                for v, claimed in enumerate(self.claimed.tolist())
+            ]
+        return self._token_list
+
+    @property
+    def parent_of(self) -> List[int]:
+        if self._parent_list is None:
+            self._parent_list = self.parent_array.tolist()
+        return self._parent_list
+
+    @property
+    def depth_of(self) -> List[int]:
+        if self._depth_list is None:
+            self._depth_list = self.depth_array.tolist()
+        return self._depth_list
+
+    @property
+    def children_of(self) -> List[List[int]]:
+        if self._lists is None:
+            lists: List[List[int]] = [[] for _ in range(self.net.n)]
+            parents = self._child_rows.column("parent").tolist()
+            children = self._child_rows.column("child").tolist()
+            for p, c in zip(parents, children):
+                lists[p].append(c)
+            self._lists = lists
+        return self._lists
+
+    def forest(self) -> RootedForest:
+        """The claimed BFS forest (scalar-identical parent pointers)."""
+        return RootedForest(self.net, self.parent_of)
+
+
+class ConvergecastArrayKernel(ArrayProgram):
+    """Array twin of :class:`~repro.core.treeops.ConvergecastProgram`.
+
+    Restricted to int values present at *every* forest member, combined by
+    an order-independent ufunc (sum/min/max) — which covers every
+    convergecast on the PA pipeline's hot path.  Multi-column values model
+    tuple payloads (the coverage check's componentwise ``(count, flag)``
+    pair-sum).
+
+    The convergecast schedule is data-independent, so the kernel
+    precomputes everything: node ``v`` fires at tick ``s(v)`` = height of
+    its subtree (leaves at tick 0, i.e. inside ``array_start``), carrying
+    the already-folded subtree aggregate.  The resulting wire traffic is
+    message-for-message the scalar program's.
+    """
+
+    name = "tree_convergecast"
+
+    def __init__(
+        self,
+        forest: RootedForest,
+        value_cols: Sequence[np.ndarray],
+        op: str = "sum",
+        tuple_payload: bool = False,
+    ) -> None:
+        self.forest = forest
+        self.tuple_payload = tuple_payload
+        ufunc = {"sum": np.add, "min": np.minimum, "max": np.maximum}[op]
+        parent = np.asarray(forest.parent, dtype=np.int64)
+        depth = np.asarray(forest.depth, dtype=np.int64)
+        members = np.flatnonzero(parent != ABSENT)
+        # Fold values up the tree level by level (deepest first), and
+        # compute each node's send tick s(v) = its subtree height.
+        acc = [np.array(col, dtype=np.int64, copy=True) for col in value_cols]
+        send_tick = np.zeros(parent.shape, dtype=np.int64)
+        by_depth = members[np.argsort(depth[members], kind="stable")]
+        height = int(depth[members].max()) if members.size else 0
+        level_starts = np.searchsorted(depth[by_depth], np.arange(height + 2))
+        for level in range(height, 0, -1):
+            nodes = by_depth[level_starts[level]:level_starts[level + 1]]
+            if nodes.size == 0:
+                continue
+            p = parent[nodes]
+            for col in acc:
+                ufunc.at(col, p, col[nodes])
+            np.maximum.at(send_tick, p, send_tick[nodes] + 1)
+        self._acc = acc
+        self._senders = members[parent[members] >= 0]
+        self._parent = parent
+        # Fire order within a tick is node-ascending; members is ascending
+        # already, so a stable sort by send tick groups it correctly.
+        s = send_tick[self._senders]
+        order = np.argsort(s, kind="stable")
+        self._senders = self._senders[order]
+        self._send_ticks = s[order]
+        self._group_starts = np.searchsorted(
+            self._send_ticks, np.arange(int(s.max()) + 2 if s.size else 1)
+        )
+        roots = np.asarray(forest.roots, dtype=np.int64)
+        root_fire = send_tick[roots]
+        root_order = np.lexsort((roots, root_fire))
+        self.at_root: Dict[int, object] = {
+            int(r): self._value_at(int(r)) for r in roots[root_order]
+        }
+
+    def _value_at(self, v: int):
+        if self.tuple_payload:
+            return tuple(int(col[v]) for col in self._acc)
+        return int(self._acc[0][v])
+
+    def _emit_group(self, actx: ArrayContext, tick: int) -> None:
+        starts = self._group_starts
+        if tick + 1 >= starts.size:
+            return
+        lo, hi = starts[tick], starts[tick + 1]
+        if lo == hi:
+            return
+        src = self._senders[lo:hi]
+        cols = {f"v{i}": col[src] for i, col in enumerate(self._acc)}
+        bits = None
+        if actx.strict_bits:
+            if self.tuple_payload:
+                total = np.full(src.shape, TUPLE_OVERHEAD_BITS, dtype=np.int64)
+                for col in cols.values():
+                    total += int_bits_array(col)
+                bits = total
+            else:
+                bits = int_bits_array(cols["v0"])
+        actx.emit(src, self._parent[src], cols=cols, bits=bits)
+
+    def array_start(self, actx: ArrayContext) -> None:
+        self._emit_group(actx, 0)
+
+    def array_tick(self, actx: ArrayContext, d: Delivered) -> None:
+        self._emit_group(actx, actx.tick)
+
+    @property
+    def partial(self) -> Dict[int, object]:
+        """Scalar-compatible per-member subtree aggregates."""
+        return {
+            int(v): self._value_at(int(v))
+            for v in np.flatnonzero(self._parent != ABSENT)
+        }
+
+
+class UncoveredAnnounceArrayKernel(ArrayProgram):
+    """Array twin of the one-round uncovered-neighbor announcement."""
+
+    name = "uncovered_announce"
+
+    def __init__(self, net: Network, covered: np.ndarray, same_part_mask: np.ndarray) -> None:
+        self.net = net
+        self._covered = np.asarray(covered, dtype=bool)
+        self._mask = same_part_mask
+        self.heard_uncovered: set = set()
+
+    def array_start(self, actx: ArrayContext) -> None:
+        uncovered = np.flatnonzero(~self._covered)
+        src, dst, _ = expand_neighbors(actx.arrays, uncovered, self._mask)
+        if src.size == 0:
+            return
+        bits = TUPLE_OVERHEAD_BITS + TAG_BITS if actx.strict_bits else None
+        actx.emit(src, dst, cols={}, bits=bits)
+
+    def array_tick(self, actx: ArrayContext, d: Delivered) -> None:
+        if len(d):
+            self.heard_uncovered.update(np.unique(d.dst).tolist())

@@ -128,7 +128,12 @@ def annotate_blocks(
     Must be re-run whenever the shortcut changes (each CoreFast repetition,
     each Algorithm 8 outer iteration).
     """
-    program = _AnnotateProgram(shortcut, capacity=capacity)
+    if getattr(engine, "use_arrays", False):
+        from .array_queue import AnnotateArrayKernel
+
+        program = AnnotateArrayKernel(shortcut, capacity=capacity)
+    else:
+        program = _AnnotateProgram(shortcut, capacity=capacity)
     depth = shortcut.tree.height()
     congestion = shortcut.congestion()
     budget = 16 + 4 * (depth + congestion)

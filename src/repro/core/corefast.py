@@ -212,7 +212,14 @@ def build_shortcut_randomized(
         ]
         priorities = {pid: rng.randrange(1 << 30) for pid in active}
         theta = max(2, 2 * budget)
-        claim = ClaimProgram(tree, claimants, theta, priorities)
+        if getattr(engine, "use_arrays", False):
+            from .array_queue import ClaimArrayKernel
+
+            claim = ClaimArrayKernel(
+                tree, claimants, theta, priorities, partition.num_parts
+            )
+        else:
+            claim = ClaimProgram(tree, claimants, theta, priorities)
         claim.name = f"corefast_claim_{iterations}"
         stats = engine.run(
             claim, max_ticks=32 + 4 * (tree.height() + theta)

@@ -147,6 +147,12 @@ class PASolver:
         the asynchrony's own cost accrues separately on
         ``solver.engine.overhead``.  Default: off, the synchronous
         engine, same code path bit for bit.
+    engine_impl:
+        ``"array"`` (default) runs the synchronous pipeline on the
+        vectorized engine core — per-phase array kernels over flat
+        payload columns, bit-for-bit the same ledger (pinned by the fuzz
+        harness's engine axis); ``"scalar"`` forces the per-message
+        reference loop.  Asynchronous execution is always scalar.
     """
 
     def __init__(
@@ -159,14 +165,18 @@ class PASolver:
         strict_edges: bool = True,
         schedule: Optional[Schedule] = None,
         async_mode: bool = False,
+        engine_impl: str = "array",
     ) -> None:
         if mode not in (RANDOMIZED, DETERMINISTIC):
             raise ValueError(f"unknown mode {mode!r}")
+        if engine_impl not in ("scalar", "array"):
+            raise ValueError(f"unknown engine_impl {engine_impl!r}")
         if async_mode and schedule is None:
             schedule = SynchronousSchedule()
         self.net = net
         self.mode = mode
         self.schedule = schedule
+        self.engine_impl = engine_impl
         self.rng = random.Random(seed)
         if schedule is not None:
             self.engine = AsyncEngine(
@@ -175,7 +185,8 @@ class PASolver:
             )
         else:
             self.engine = Engine(
-                net, strict_bits=strict_bits, strict_edges=strict_edges
+                net, strict_bits=strict_bits, strict_edges=strict_edges,
+                use_arrays=(engine_impl == "array"),
             )
 
         self.tree_ledger = CostLedger()
@@ -403,6 +414,7 @@ def solve_pa(
     shortcut_provider: Optional[object] = None,
     schedule: Optional[Schedule] = None,
     async_mode: bool = False,
+    engine_impl: str = "array",
 ) -> PAResult:
     """One-call Part-Wise Aggregation (builds the whole pipeline).
 
@@ -422,7 +434,8 @@ def solve_pa(
             "(the solver already owns its engine)"
         )
     solver = solver or PASolver(
-        net, mode=mode, seed=seed, schedule=schedule, async_mode=async_mode
+        net, mode=mode, seed=seed, schedule=schedule, async_mode=async_mode,
+        engine_impl=engine_impl,
     )
     setup = solver.prepare(
         partition, leaders=leaders, shortcut_provider=shortcut_provider

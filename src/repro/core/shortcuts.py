@@ -33,6 +33,8 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from ..congest.errors import ShortcutValidationError
 from ..congest.network import Network
 from ..graphs.partitions import Partition
@@ -157,13 +159,38 @@ class Shortcut:
         return max(1, len(self.blocks_of_part(pid)))
 
     def block_parameters(self) -> List[int]:
-        """Block parameter of every part."""
+        """Block parameter of every part.
+
+        Computed for all parts in one vectorized pass: ``H_i`` is a
+        subforest of ``T`` (edges are distinct parent edges), so its
+        edge-bearing component count is ``#distinct endpoints - #edges``
+        — every counted endpoint has an incident edge, and a forest with
+        ``V`` vertices and ``E`` edges has ``V - E`` components.
+        """
         cached = self.__dict__.get("_block_parameters")
         if cached is None:
-            cached = [
-                self.block_parameter(pid)
-                for pid in range(self.partition.num_parts)
-            ]
+            num_parts = self.partition.num_parts
+            up_keys = self.up_key_array()
+            if not up_keys.size:
+                cached = [1] * num_parts
+            else:
+                P = max(1, num_parts)
+                child = up_keys // P
+                pid_arr = up_keys % P
+                par = np.asarray(self.tree.parent, dtype=np.int64)[child]
+                stride = self.tree.net.n + 1
+                endpoints = np.unique(
+                    np.concatenate(
+                        [pid_arr * stride + child, pid_arr * stride + par]
+                    )
+                )
+                vertex_counts = np.bincount(
+                    endpoints // stride, minlength=num_parts
+                )
+                edge_counts = np.bincount(pid_arr, minlength=num_parts)
+                cached = np.maximum(
+                    1, vertex_counts - edge_counts
+                ).tolist()
             self._block_parameters = cached
         return list(cached)
 
@@ -199,6 +226,50 @@ class Shortcut:
                 if parts:
                     down[self.tree.parent[v]][v] = parts
             cached = self._down_parts = down
+        return cached
+
+    def down_csr(self) -> Tuple["np.ndarray", ...]:
+        """Cached down-edge CSR for the array kernels.
+
+        Returns ``(keys, starts, counts, children)``: unique sorted keys
+        ``parent * P + pid`` (``P = num_parts``), and for each key the
+        ascending child nodes whose parent edge belongs to ``H_pid`` —
+        the flat-array form of :meth:`down_parts`, shared by every array
+        kernel built on this (immutable) shortcut.
+        """
+        cached = self.__dict__.get("_down_csr")
+        if cached is None:
+            P = max(1, self.partition.num_parts)
+            up_keys = self.up_key_array()
+            children = up_keys // P
+            keys = (
+                np.asarray(self.tree.parent, dtype=np.int64)[children] * P
+                + up_keys % P
+            )
+            if keys.size:
+                order = np.lexsort((children, keys))
+                skeys = keys[order]
+                schildren = children[order]
+                ukeys, starts = np.unique(skeys, return_index=True)
+                counts = np.diff(np.append(starts, skeys.size))
+            else:
+                ukeys = starts = counts = schildren = keys
+            cached = self._down_csr = (ukeys, starts, counts, schildren)
+        return cached
+
+    def up_key_array(self) -> "np.ndarray":
+        """Cached sorted int64 keys ``v * P + pid`` over all up-edges."""
+        cached = self.__dict__.get("_up_key_array")
+        if cached is None:
+            P = max(1, self.partition.num_parts)
+            key_list: List[int] = []
+            for v, parts in enumerate(self.up_parts):
+                if parts:
+                    base = v * P
+                    key_list.extend(base + pid for pid in parts)
+            cached = self._up_key_array = np.sort(
+                np.asarray(key_list, dtype=np.int64)
+            )
         return cached
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -90,6 +90,32 @@ def elect_leader_and_bfs_tree(
     A final one-round ack phase informs each parent of its children, after
     which the tree is full node-local knowledge.
     """
+    if getattr(engine, "use_arrays", False):
+        import numpy as np
+
+        from .array_kernels import ChildAckArrayKernel, FloodMinArrayKernel
+
+        arrays = net.array_views
+        flood_k = FloodMinArrayKernel(
+            net, np.arange(net.n, dtype=np.int64), arrays.uid
+        )
+        flood_k.name = name
+        stats = engine.run(flood_k, max_ticks=net.n + 2)
+        ledger.charge(stats)
+
+        leader_uid = min(net.uid)
+        leader = net.node_of_uid(leader_uid)
+        if not (flood_k.best_array == leader_uid).all():
+            raise ValueError("network is disconnected; election did not span it")
+        parent = flood_k.parent_array.tolist()
+
+        ack_k = ChildAckArrayKernel(flood_k.parent_array)
+        stats = engine.run(ack_k, max_ticks=2)
+        ledger.charge(stats)
+
+        tree = RootedForest(net, parent)
+        return SpanningTreeResult(tree=tree, root=leader, depth=tree.height())
+
     flood = FloodMinProgram(net, tokens={v: net.uid[v] for v in range(net.n)})
     flood.name = name
     stats = engine.run(flood, max_ticks=net.n + 2)

@@ -126,8 +126,47 @@ def _coverage_check(
     covered: Sequence[bool],
     ledger: CostLedger,
     name: str,
+    same_part_mask=None,
 ) -> Dict[int, object]:
-    """Convergecast (count, any-uncovered-neighbor) to each claim root."""
+    """Convergecast (count, any-uncovered-neighbor) to each claim root.
+
+    ``same_part_mask`` (per-CSR-slot, from the array engine's views) makes
+    both the announcement and the pair convergecast run array-natively;
+    wire traffic and ledger are identical to the scalar programs.
+    """
+    if same_part_mask is not None and getattr(engine, "use_arrays", False):
+        import numpy as np
+
+        from .array_kernels import (
+            ConvergecastArrayKernel,
+            UncoveredAnnounceArrayKernel,
+        )
+
+        covered_np = np.asarray(covered, dtype=bool)
+        announce_k = UncoveredAnnounceArrayKernel(
+            net, covered_np, same_part_mask
+        )
+        announce_k.name = f"{name}_announce"
+        stats = engine.run(announce_k, max_ticks=2)
+        ledger.charge(stats)
+
+        count_col = covered_np.astype(np.int64)
+        flag_col = np.zeros(net.n, dtype=np.int64)
+        if announce_k.heard_uncovered:
+            heard = np.fromiter(
+                announce_k.heard_uncovered,
+                dtype=np.int64,
+                count=len(announce_k.heard_uncovered),
+            )
+            flag_col[heard[covered_np[heard]]] = 1
+        cast = ConvergecastArrayKernel(
+            forest, [count_col, flag_col], op="sum", tuple_payload=True
+        )
+        cast.name = f"{name}_convergecast"
+        stats = engine.run(cast, max_ticks=forest.height() + 2)
+        ledger.charge(stats)
+        return cast.at_root
+
     announce = _UncoveredAnnounceProgram(net, part_of, covered)
     announce.name = f"{name}_announce"
     stats = engine.run(announce, max_ticks=2)
@@ -138,7 +177,6 @@ def _coverage_check(
         if covered[v]:
             flag = 1 if v in announce.heard_uncovered else 0
             values[v] = (1, flag)
-    pair_sum = SUM  # componentwise via tuple addition replacement below
 
     # Tuple-wise sum aggregation: (count, flags) + (count, flags).
     from .aggregation import Aggregation
@@ -183,6 +221,17 @@ def build_subpart_division_randomized(
     def same_part(u: int, v: int) -> bool:
         return part_of[u] == part_of[v]
 
+    # On an array engine the edge restrictions run as static CSR slot
+    # masks instead of per-send Python predicates.
+    same_part_mask = None
+    part_np = None
+    if getattr(engine, "use_arrays", False):
+        import numpy as np
+
+        arrays = net.array_views
+        part_np = np.asarray(part_of, dtype=np.int64)
+        same_part_mask = part_np[arrays.src_of_slot] == part_np[arrays.adj]
+
     # Phase 1: leaders probe their parts to depth D.
     leader_tokens = {leader: net.uid[leader] for leader in leaders}
     probe = claim_bfs(
@@ -193,10 +242,12 @@ def build_subpart_division_randomized(
         allowed=same_part,
         max_depth=depth_limit,
         name="subpart_probe",
+        slot_mask=same_part_mask,
     )
     covered = [probe.token_of[v] is not None for v in range(n)]
     at_root = _coverage_check(
-        engine, net, part_of, probe.forest(), covered, ledger, "subpart_probe"
+        engine, net, part_of, probe.forest(), covered, ledger, "subpart_probe",
+        same_part_mask=same_part_mask,
     )
 
     small_parts: Set[int] = set()
@@ -239,6 +290,18 @@ def build_subpart_division_randomized(
         def claimable(u: int, v: int) -> bool:
             return same_part(u, v) and rep_of[v] == -1 and rep_of[u] == -1
 
+        claim_mask = None
+        if same_part_mask is not None:
+            import numpy as np
+
+            arrays = net.array_views
+            rep_np = np.asarray(rep_of, dtype=np.int64)
+            claim_mask = (
+                same_part_mask
+                & (rep_np[arrays.src_of_slot] == -1)
+                & (rep_np[arrays.adj] == -1)
+            )
+
         claim = claim_bfs(
             engine,
             net,
@@ -247,6 +310,7 @@ def build_subpart_division_randomized(
             allowed=claimable,
             max_depth=2 * depth_limit,
             name=f"subpart_claim_{sweep}",
+            slot_mask=claim_mask,
         )
         for v in unclaimed:
             token = claim.token_of[v]

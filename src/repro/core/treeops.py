@@ -296,6 +296,44 @@ def broadcast(
     return program.received
 
 
+def _array_convergecast(
+    engine: Engine,
+    forest: RootedForest,
+    agg: Aggregation,
+    values: Sequence[object],
+):
+    """Build the array kernel for this convergecast, or None if the scalar
+    program must run (non-int values, unsupported combine, overflow risk).
+    """
+    if not getattr(engine, "use_arrays", False):
+        return None
+    from .aggregation import MAX, MIN, SUM
+
+    if agg is SUM:
+        op = "sum"
+    elif agg is MIN:
+        op = "min"
+    elif agg is MAX:
+        op = "max"
+    else:
+        return None
+    import numpy as np
+
+    col = np.zeros(forest.net.n, dtype=np.int64)
+    total = 0
+    for v in forest.members():
+        value = values[v]
+        if type(value) is not int:
+            return None
+        total += value if value >= 0 else -value
+        col[v] = value
+    if total >= 1 << 62:  # folded sums must stay exact in int64
+        return None
+    from .array_kernels import ConvergecastArrayKernel
+
+    return ConvergecastArrayKernel(forest, [col], op=op)
+
+
 def convergecast(
     engine: Engine,
     forest: RootedForest,
@@ -305,7 +343,9 @@ def convergecast(
     name: str = "tree_convergecast",
 ) -> Tuple[Dict[int, object], Dict[int, object]]:
     """Run a forest convergecast; returns (aggregate at roots, subtree partials)."""
-    program = ConvergecastProgram(forest, agg, values)
+    program = _array_convergecast(engine, forest, agg, values)
+    if program is None:
+        program = ConvergecastProgram(forest, agg, values)
     program.name = name
     stats = engine.run(program, max_ticks=forest.height() + 2)
     ledger.charge(stats)
@@ -320,9 +360,39 @@ def claim_bfs(
     allowed: Optional[Callable[[int, int], bool]] = None,
     max_depth: Optional[int] = None,
     name: str = "claim_bfs",
+    slot_mask=None,
 ) -> ClaimBfsProgram:
-    """Run a parallel claiming BFS; returns the finished program object."""
-    program = ClaimBfsProgram(net, tokens, allowed=allowed, max_depth=max_depth)
+    """Run a parallel claiming BFS; returns the finished program object.
+
+    On an array engine the BFS runs as
+    :class:`~repro.core.array_kernels.ClaimBfsArrayKernel` when the edge
+    restriction is expressible as a static mask: ``slot_mask`` is the
+    per-CSR-slot bool array equivalent to ``allowed`` (callers that pass
+    an ``allowed`` callable must supply the matching mask to opt in; with
+    ``allowed=None`` no mask is needed).  Outputs and ledger are identical
+    either way.
+    """
+    use_kernel = (
+        getattr(engine, "use_arrays", False)
+        and (allowed is None or slot_mask is not None)
+        and all(type(t) is int for t in tokens.values())
+    )
+    if use_kernel:
+        import numpy as np
+
+        from .array_kernels import ClaimBfsArrayKernel
+
+        program = ClaimBfsArrayKernel(
+            net,
+            np.fromiter(tokens.keys(), dtype=np.int64, count=len(tokens)),
+            np.fromiter(tokens.values(), dtype=np.int64, count=len(tokens)),
+            slot_mask=slot_mask,
+            max_depth=max_depth,
+        )
+    else:
+        program = ClaimBfsProgram(
+            net, tokens, allowed=allowed, max_depth=max_depth
+        )
     program.name = name
     limit = (max_depth or net.n) + 3
     stats = engine.run(program, max_ticks=limit)

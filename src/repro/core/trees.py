@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from ..congest.network import Network
 
 #: ``parent`` value for a root node.
@@ -46,44 +48,66 @@ class RootedForest:
         self.net = net
         self.parent: Tuple[int, ...] = tuple(parent)
 
-        children: List[List[int]] = [[] for _ in range(net.n)]
-        roots: List[int] = []
-        for v, p in enumerate(self.parent):
-            if p == ROOT:
-                roots.append(v)
-            elif p == ABSENT:
-                continue
-            else:
-                if not net.has_edge(v, p):
-                    raise ValueError(
-                        f"forest parent edge ({v}, {p}) is not a network edge"
-                    )
-                children[p].append(v)
-        self.children: Tuple[Tuple[int, ...], ...] = tuple(
-            tuple(sorted(ch)) for ch in children
-        )
-        self.roots: Tuple[int, ...] = tuple(sorted(roots))
+        n = net.n
+        parr = np.asarray(self.parent, dtype=np.int64)
+        child_nodes = np.flatnonzero(parr >= 0)
+        for v in child_nodes.tolist():
+            p = self.parent[v]
+            if not net.has_edge(v, p):
+                raise ValueError(
+                    f"forest parent edge ({v}, {p}) is not a network edge"
+                )
+        self.roots: Tuple[int, ...] = tuple(np.flatnonzero(parr == ROOT).tolist())
 
-        depth = [-1] * net.n
-        order: List[int] = []
-        for r in self.roots:
-            depth[r] = 0
-            order.append(r)
-        head = 0
-        while head < len(order):
-            u = order[head]
-            head += 1
-            for c in self.children[u]:
-                depth[c] = depth[u] + 1
-                order.append(c)
-        self.depth: Tuple[int, ...] = tuple(depth)
+        # Children grouped by parent: child_nodes is ascending, so a stable
+        # sort by parent keeps each group ascending — the per-node sorted()
+        # of the scalar construction.
+        cparents = parr[child_nodes]
+        grouped = child_nodes[np.argsort(cparents, kind="stable")]
+        counts = (
+            np.bincount(cparents, minlength=n)
+            if child_nodes.size
+            else np.zeros(n, dtype=np.int64)
+        )
+        starts = np.zeros(n, dtype=np.int64)
+        if n > 1:
+            starts[1:] = np.cumsum(counts)[:-1]
+        grouped_list = grouped.tolist()
+        self.children: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(grouped_list[s:s + c])
+            for s, c in zip(starts.tolist(), counts.tolist())
+        )
+
+        # Level-synchronous BFS from the roots; each level expands in parent
+        # order with children ascending, matching the scalar FIFO order.
+        depth = np.full(n, -1, dtype=np.int64)
+        order_parts: List[np.ndarray] = []
+        cur = np.asarray(self.roots, dtype=np.int64)
+        level = 0
+        while cur.size:
+            depth[cur] = level
+            order_parts.append(cur)
+            cc = counts[cur]
+            total = int(cc.sum())
+            if total == 0:
+                break
+            offsets = np.concatenate(
+                ([0], np.cumsum(cc)[:-1])
+            )
+            within = np.arange(total, dtype=np.int64) - np.repeat(offsets, cc)
+            cur = grouped[np.repeat(starts[cur], cc) + within]
+            level += 1
+        order = (
+            np.concatenate(order_parts).tolist() if order_parts else []
+        )
+        self.depth: Tuple[int, ...] = tuple(depth.tolist())
         #: Topological (BFS) order from the roots: parents precede children.
         self.order: Tuple[int, ...] = tuple(order)
         # The forest is immutable, so its height is fixed at construction
         # (the BFS order visits deepest nodes last).
         self._height: int = self.depth[order[-1]] if order else 0
 
-        in_forest = sum(1 for p in self.parent if p != ABSENT)
+        in_forest = int((parr != ABSENT).sum())
         if len(order) != in_forest:
             raise ValueError("parent pointers contain a cycle")
 

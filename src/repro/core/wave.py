@@ -79,22 +79,27 @@ def compute_wave_boundary(
     cached = getattr(division, "_wave_boundary_cache", None)
     if cached is not None:
         return cached
-    part_of = partition.part_of
-    forest_parent = division.forest.parent
-    forest_children = division.forest.children
-    boundary: List[Tuple[int, ...]] = []
-    for v in range(net.n):
-        tree_nbrs = set(forest_children[v])
-        if forest_parent[v] >= 0:
-            tree_nbrs.add(forest_parent[v])
-        my_part = part_of[v]
-        boundary.append(
-            tuple(
-                nb
-                for nb in net.neighbors[v]
-                if part_of[nb] == my_part and nb not in tree_nbrs
-            )
-        )
+    import numpy as np
+
+    arrays = net.array_views
+    src = arrays.src_of_slot
+    adj = arrays.adj
+    part_np = np.asarray(partition.part_of, dtype=np.int64)
+    fparent = np.asarray(division.forest.parent, dtype=np.int64)
+    # A slot is a tree edge iff one endpoint is the other's forest parent
+    # (ROOT/ABSENT are negative, never equal to a node id).
+    keep = (part_np[src] == part_np[adj]) & (fparent[src] != adj) & (
+        fparent[adj] != src
+    )
+    kept_adj = adj[keep].tolist()
+    counts = np.bincount(src[keep], minlength=net.n)
+    starts = np.zeros(net.n, dtype=np.int64)
+    if net.n > 1:
+        starts[1:] = np.cumsum(counts)[:-1]
+    boundary = [
+        tuple(kept_adj[s:s + c])
+        for s, c in zip(starts.tolist(), counts.tolist())
+    ]
     division._wave_boundary_cache = boundary
     return boundary
 
@@ -573,6 +578,16 @@ def run_pa_waves(
         pid: net.uid[division.part_leader[pid]]
         for pid in range(partition.num_parts)
     }
+
+    from .array_wave import array_wave_supported
+
+    if array_wave_supported(engine, values, agg, leader_tokens):
+        return _run_pa_waves_array(
+            engine, net, partition, division, shortcut, annotations,
+            values, agg, ledger, leader_tokens, delays, capacity,
+            rounds_per_tick, max_ticks, phase_prefix,
+        )
+
     wave = WaveProgram(
         net, partition, division, shortcut, annotations, leader_tokens,
         delays=delays, capacity=capacity,
@@ -620,6 +635,78 @@ def run_pa_waves(
     return PAWaveResult(
         aggregates=dict(reverse.results),
         value_at_node=value_at_node,
+        record=wave.record,
+        wave_rounds=wave_rounds,
+        wave_messages=wave_messages,
+    )
+
+
+def _run_pa_waves_array(
+    engine: Engine,
+    net: Network,
+    partition: Partition,
+    division: SubPartDivision,
+    shortcut: Shortcut,
+    annotations: BlockAnnotations,
+    values: Sequence[object],
+    agg: Aggregation,
+    ledger: CostLedger,
+    leader_tokens: Dict[int, int],
+    delays: Dict[int, int],
+    capacity: int,
+    rounds_per_tick: int,
+    max_ticks: int,
+    phase_prefix: str,
+) -> PAWaveResult:
+    """Array-native PA: same three phases, flat-column kernels."""
+    from .array_wave import (
+        ReplayArrayKernel,
+        ReverseArrayKernel,
+        WaveArrayKernel,
+    )
+
+    wave = WaveArrayKernel(
+        net, partition, division, shortcut, annotations, leader_tokens,
+        delays=delays, capacity=capacity,
+    )
+    wave.name = f"{phase_prefix}_wave"
+    stats = engine.run(
+        wave, max_ticks=max_ticks, capacity=capacity,
+        rounds_per_tick=rounds_per_tick,
+    )
+    ledger.charge(stats)
+    wave_rounds, wave_messages = stats.rounds, stats.messages
+
+    part_of = partition.part_of
+    for pid in range(partition.num_parts):
+        missing = {
+            v for v in partition.members[pid]
+            if not wave.has_token[v] or part_of[v] != pid
+        }
+        if missing:
+            raise RuntimeError(
+                f"wave failed to cover part {pid}: missing {sorted(missing)[:5]}"
+            )
+
+    reverse = ReverseArrayKernel(wave, agg, values, capacity=capacity)
+    reverse.name = f"{phase_prefix}_reverse"
+    stats = engine.run(
+        reverse, max_ticks=4 * max_ticks, capacity=capacity,
+        rounds_per_tick=rounds_per_tick,
+    )
+    ledger.charge(stats)
+
+    replay = ReplayArrayKernel(wave, reverse, capacity=capacity)
+    replay.name = f"{phase_prefix}_replay"
+    stats = engine.run(
+        replay, max_ticks=4 * max_ticks, capacity=capacity,
+        rounds_per_tick=rounds_per_tick,
+    )
+    ledger.charge(stats)
+
+    return PAWaveResult(
+        aggregates=reverse.results_dict(),
+        value_at_node=replay.value_at_node(),
         record=wave.record,
         wave_rounds=wave_rounds,
         wave_messages=wave_messages,

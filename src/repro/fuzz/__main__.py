@@ -19,6 +19,7 @@ from typing import Optional, Sequence
 from .harness import (
     ALGORITHMS,
     DELAYED_KINDS,
+    ENGINE_IMPLS,
     GRAPH_KINDS,
     FuzzCase,
     FuzzFailure,
@@ -56,6 +57,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--schedules", default=",".join(DELAYED_KINDS),
                         help="comma-separated schedule kinds for --replay "
                              "(shrunk failures isolate a single kind)")
+    parser.add_argument("--engines", default=",".join(ENGINE_IMPLS),
+                        help="comma-separated sync engine implementations "
+                             "for --replay (scalar is the baseline)")
     args = parser.parse_args(argv)
 
     schedule_kinds = tuple(k for k in args.schedules.split(",") if k)
@@ -64,6 +68,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error(
             f"unknown schedule kind(s) {unknown}; choose from {DELAYED_KINDS}"
         )
+    engine_impls = tuple(k for k in args.engines.split(",") if k)
+    unknown = [k for k in engine_impls if k not in ENGINE_IMPLS]
+    if unknown:
+        parser.error(
+            f"unknown engine impl(s) {unknown}; choose from {ENGINE_IMPLS}"
+        )
 
     if args.replay is not None:
         graph_seed, _, schedule_seed = args.replay.partition(":")
@@ -71,6 +81,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             graph_seed=int(graph_seed), schedule_seed=int(schedule_seed or 0),
             n=args.n, algorithm=args.algorithm, mode=args.mode,
             graph_kind=args.graph, schedule_kinds=schedule_kinds,
+            engine_impls=engine_impls,
         )
         message = run_case(case)
         if message is None:

@@ -3,22 +3,27 @@
 Each :class:`FuzzCase` is fully determined by a ``(graph_seed,
 schedule_seed)`` pair plus its explicit parameters, so any failure is
 replayable from the one line the harness prints.  A case runs one
-workload (PA, MST or connected components) four ways — on the
-synchronous engine, and on the async engine under the delay-0,
-seeded-random, adversarial slow-edge and FIFO schedules — and demands:
+workload (PA, MST or connected components) five ways — on the scalar
+synchronous engine, on the vectorized (array) synchronous engine, and
+on the async engine under the delay-0, seeded-random, adversarial
+slow-edge and FIFO schedules — and demands:
 
 * **output equivalence** everywhere: identical per-part aggregates and
   per-node values (PA), identical MST edge sets (also cross-checked
   against Kruskal), identical component labels;
 * **delay-0 ledger parity**: the async engine under
   :class:`~repro.congest.schedule.SynchronousSchedule` must reproduce
-  the synchronous engine's phase log bit for bit — names, rounds,
-  messages and ticks per phase.
+  the scalar synchronous engine's phase log bit for bit — names,
+  rounds, messages and ticks per phase;
+* **scalar/array ledger parity**: the array engine must reproduce the
+  scalar engine's phase log bit for bit too — the vectorized core is a
+  pure implementation change, never a cost-model change.
 
 Failures shrink before being reported: the graph is re-drawn at smaller
-sizes (same seeds) while the failure persists, and the failing schedule
-kind is isolated, so the replay line names the smallest configuration
-the harness could still break.
+sizes (same seeds) while the failure persists, then the failing axis is
+isolated — either a single schedule kind, or the scalar-vs-array engine
+pair with no delayed schedules at all — so the replay line names the
+smallest configuration the harness could still break.
 """
 
 from __future__ import annotations
@@ -45,6 +50,8 @@ ALGORITHMS = ("pa", "mst", "components")
 GRAPH_KINDS = ("grid", "random", "regular", "pref-attach")
 #: Non-trivial schedules every case must survive (delay-0 runs always).
 DELAYED_KINDS = ("random", "slow-edge", "fifo")
+#: Synchronous engine implementations; "scalar" is the reference.
+ENGINE_IMPLS = ("scalar", "array")
 
 
 @dataclass(frozen=True)
@@ -59,6 +66,9 @@ class FuzzCase:
     graph_kind: str = "random"
     #: Schedule kinds to test beyond delay-0 (shrinking narrows this).
     schedule_kinds: Tuple[str, ...] = DELAYED_KINDS
+    #: Sync engine implementations to compare (first one is the baseline;
+    #: shrinking may drop the axis to ("scalar",) if it is not at fault).
+    engine_impls: Tuple[str, ...] = ENGINE_IMPLS
 
     def replay_command(self) -> str:
         return (
@@ -66,7 +76,8 @@ class FuzzCase:
             f"{self.graph_seed}:{self.schedule_seed} --n {self.n} "
             f"--algorithm {self.algorithm} --mode {self.mode} "
             f"--graph {self.graph_kind} "
-            f"--schedules {','.join(self.schedule_kinds)}"
+            f"--schedules {','.join(self.schedule_kinds)} "
+            f"--engines {','.join(self.engine_impls)}"
         )
 
 
@@ -86,6 +97,7 @@ class FuzzFailure:
             "mode": self.case.mode,
             "graph_kind": self.case.graph_kind,
             "schedule_kinds": list(self.case.schedule_kinds),
+            "engine_impls": list(self.case.engine_impls),
             "message": self.message,
             "replay": self.case.replay_command(),
         }
@@ -157,19 +169,22 @@ def _phase_log(ledger) -> List[Tuple[str, int, int, int]]:
 
 
 def _run_workload(case: FuzzCase, net, partition, values,
-                  schedule: Optional[Schedule], async_mode: bool):
+                  schedule: Optional[Schedule], async_mode: bool,
+                  engine_impl: str = "scalar"):
     """Run the case's algorithm; return (output, ledger)."""
     seed = case.graph_seed % 997
     if case.algorithm == "pa":
         res = solve_pa(
             net, partition, values, SUM, mode=case.mode, seed=seed,
             schedule=schedule, async_mode=async_mode,
+            engine_impl=engine_impl,
         )
         return (dict(res.aggregates), list(res.value_at_node)), res.ledger
     if case.algorithm == "mst":
         res = minimum_spanning_tree(
             net, mode=case.mode, seed=seed,
             schedule=schedule, async_mode=async_mode,
+            engine_impl=engine_impl,
         )
         return res.output, res.ledger
     if case.algorithm == "components":
@@ -177,6 +192,7 @@ def _run_workload(case: FuzzCase, net, partition, values,
         res = cc_labeling(
             net, subgraph, mode=case.mode, seed=seed,
             schedule=schedule, async_mode=async_mode,
+            engine_impl=engine_impl,
         )
         return list(res.output), res.ledger
     raise ValueError(f"unknown algorithm {case.algorithm!r}")
@@ -196,6 +212,28 @@ def run_case(case: FuzzCase) -> Optional[str]:
         )
         if case.algorithm == "mst" and base_out != frozenset(kruskal_mst(net)):
             return "sync MST does not match the Kruskal oracle"
+
+        for impl in case.engine_impls:
+            if impl == "scalar":
+                continue  # the baseline above
+            impl_out, impl_ledger = _run_workload(
+                case, net, partition, values, schedule=None,
+                async_mode=False, engine_impl=impl,
+            )
+            if impl_out != base_out:
+                return f"{impl} engine output differs from the scalar engine"
+            if _phase_log(impl_ledger) != _phase_log(base_ledger):
+                scalar_log = _phase_log(base_ledger)
+                impl_log = _phase_log(impl_ledger)
+                diff = next(
+                    (p for p in zip(scalar_log, impl_log) if p[0] != p[1]),
+                    (("<length>", len(scalar_log)),
+                     ("<length>", len(impl_log))),
+                )
+                return (
+                    f"scalar-vs-{impl} ledger parity broken: "
+                    f"{diff[0]} != {diff[1]}"
+                )
 
         zero_out, zero_ledger = _run_workload(
             case, net, partition, values, schedule=None, async_mode=True
@@ -228,10 +266,13 @@ def shrink_case(
 ) -> Tuple[FuzzCase, str]:
     """Minimize a failing case; returns (smallest failing case, message).
 
-    Two shrink axes, both preserving the replay seeds: the graph size is
-    walked down while the failure persists, and the failing schedule
-    kind is isolated (a delay-0/oracle failure keeps all kinds — they
-    never ran or all passed).
+    Three shrink axes, all preserving the replay seeds: the graph size
+    is walked down while the failure persists, then the failing axis is
+    isolated — if the case still fails with the engine axis dropped
+    (scalar only) the engine comparison was not at fault and a single
+    failing schedule kind is sought; otherwise the divergence is the
+    scalar-vs-array engine pair, and the delayed schedules are dropped
+    instead if the engine pair alone still reproduces it.
     """
     message = check(case)
     if message is None:
@@ -253,7 +294,20 @@ def shrink_case(
             current, message = candidate, failed
         else:
             step //= 2
-    # Axis 2: isolate a single failing schedule kind.
+    # Axis 2: which engine diverged?  If the failure survives without the
+    # array engine, the engine axis is innocent; otherwise keep the
+    # engine pair and try dropping the delayed schedules entirely.
+    if len(current.engine_impls) > 1:
+        candidate = replace(current, engine_impls=("scalar",))
+        failed = check(candidate)
+        if failed is not None:
+            current, message = candidate, failed
+        else:
+            candidate = replace(current, schedule_kinds=())
+            failed = check(candidate)
+            if failed is not None:
+                current, message = candidate, failed
+    # Axis 3: isolate a single failing schedule kind.
     for kind in current.schedule_kinds:
         candidate = replace(current, schedule_kinds=(kind,))
         failed = check(candidate)

@@ -174,6 +174,7 @@ class PASession:
         schedule: Optional[Schedule] = None,
         async_mode: bool = False,
         solver: Optional[PASolver] = None,
+        engine_impl: str = "array",
     ) -> None:
         if family is not None:
             if shortcut_provider is not None:
@@ -214,6 +215,7 @@ class PASession:
                 net, mode=mode, seed=seed, root=root,
                 strict_bits=strict_bits, strict_edges=strict_edges,
                 schedule=schedule, async_mode=async_mode,
+                engine_impl=engine_impl,
             )
         self.reuse = reuse
         self.batch = batch
@@ -552,6 +554,7 @@ def ensure_session(
     family_param: Optional[int] = None,
     schedule: Optional[Schedule] = None,
     async_mode: bool = False,
+    engine_impl: str = "array",
 ) -> PASession:
     """The algorithms' session acquisition: adopt, wrap, or construct.
 
@@ -580,4 +583,5 @@ def ensure_session(
         net, mode=mode, seed=seed, solver=solver,
         shortcut_provider=shortcut_provider, family=family,
         family_param=family_param, schedule=schedule, async_mode=async_mode,
+        engine_impl=engine_impl,
     )

@@ -1,0 +1,139 @@
+"""Scalar-vs-vectorized differential parity: the pin for the array core.
+
+The array engine (:mod:`repro.congest.arrays` plus the kernels in
+:mod:`repro.core.array_queue` / :mod:`repro.core.array_wave`) is a pure
+implementation change, never a cost-model change: for every program pair
+(scalar program, array kernel) the phase ledger — name, rounds, messages,
+ticks — and all program outputs must be bit-for-bit identical.  These
+tests pin that contract at the algorithm level over seeded graphs, both
+PA modes, several aggregations and all three fuzzed workloads; the
+schedule fuzzer's engine axis (``tests/fuzz/test_schedule_fuzz.py``)
+extends the same check to fresh random cases on every run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import cc_labeling, minimum_spanning_tree
+from repro.analysis import kruskal_mst
+from repro.core import (
+    DETERMINISTIC,
+    MAX,
+    MIN,
+    RANDOMIZED,
+    SUM,
+    solve_pa,
+)
+from repro.graphs import (
+    bfs_ball_partition,
+    grid_2d,
+    preferential_attachment,
+    random_connected,
+    random_connected_partition,
+    random_regular,
+    with_distinct_weights,
+)
+
+
+def _phase_log(ledger):
+    return [(p.name, p.rounds, p.messages, p.ticks) for p in ledger.phases()]
+
+
+def _graphs():
+    return [
+        ("grid", grid_2d(5, 7, uid_seed=3)),
+        ("random", random_connected(40, 0.1, seed=11, uid_seed=11)),
+        ("regular", random_regular(36, 3, seed=7, uid_seed=7)),
+        ("pref-attach", preferential_attachment(34, attach=2, seed=5,
+                                                uid_seed=5)),
+    ]
+
+
+# ----------------------------------------------------------------------
+# PA: aggregates, per-node values and the full phase log
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kind,net", _graphs())
+@pytest.mark.parametrize("mode", [RANDOMIZED, DETERMINISTIC])
+def test_pa_bit_for_bit_across_engines(kind, net, mode):
+    partition = random_connected_partition(net, 5, seed=13)
+    values = [(v * 11 + 2) % 251 for v in range(net.n)]
+    results = {
+        impl: solve_pa(
+            net, partition, values, SUM, mode=mode, seed=17,
+            engine_impl=impl,
+        )
+        for impl in ("scalar", "array")
+    }
+    sc, ar = results["scalar"], results["array"]
+    assert dict(ar.aggregates) == dict(sc.aggregates)
+    assert list(ar.value_at_node) == list(sc.value_at_node)
+    assert _phase_log(ar.ledger) == _phase_log(sc.ledger)
+
+
+@pytest.mark.parametrize("agg", [SUM, MIN, MAX])
+def test_pa_parity_holds_for_every_identity_aggregation(agg):
+    # array_wave_supported gates on the aggregation: SUM/MIN/MAX over int
+    # tokens take the vectorized wave, anything else falls back per phase
+    # — either way the ledger must not move.
+    net = grid_2d(6, 6, uid_seed=9)
+    partition = bfs_ball_partition(net, 7, seed=4)
+    values = [(v * 3 + 1) % 97 for v in range(net.n)]
+    sc = solve_pa(net, partition, values, agg, seed=5, engine_impl="scalar")
+    ar = solve_pa(net, partition, values, agg, seed=5, engine_impl="array")
+    assert dict(ar.aggregates) == dict(sc.aggregates)
+    assert _phase_log(ar.ledger) == _phase_log(sc.ledger)
+
+
+def test_pa_parity_with_tuple_values_falls_back_identically():
+    # MIN over tuples is outside the array wave's supported domain; the
+    # dispatch must degrade to the scalar wave without any ledger drift.
+    net = random_connected(30, 0.12, seed=21, uid_seed=21)
+    partition = random_connected_partition(net, 4, seed=8)
+    values = [(net.uid[v] % 7, net.uid[v]) for v in range(net.n)]
+    from repro.core import MIN_TUPLE
+
+    sc = solve_pa(net, partition, values, MIN_TUPLE, seed=2,
+                  engine_impl="scalar")
+    ar = solve_pa(net, partition, values, MIN_TUPLE, seed=2,
+                  engine_impl="array")
+    assert dict(ar.aggregates) == dict(sc.aggregates)
+    assert _phase_log(ar.ledger) == _phase_log(sc.ledger)
+
+
+# ----------------------------------------------------------------------
+# Whole algorithms on top of PA
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("mode", [RANDOMIZED, DETERMINISTIC])
+def test_mst_bit_for_bit_across_engines(mode):
+    net = with_distinct_weights(grid_2d(5, 6, uid_seed=2), seed=19)
+    sc = minimum_spanning_tree(net, mode=mode, seed=3, engine_impl="scalar")
+    ar = minimum_spanning_tree(net, mode=mode, seed=3, engine_impl="array")
+    assert ar.output == sc.output == frozenset(kruskal_mst(net))
+    assert _phase_log(ar.ledger) == _phase_log(sc.ledger)
+
+
+def test_components_bit_for_bit_across_engines():
+    net = random_connected(42, 0.09, seed=31, uid_seed=31)
+    subgraph = [e for i, e in enumerate(net.edges) if i % 3 != 0]
+    sc = cc_labeling(net, subgraph, seed=6, engine_impl="scalar")
+    ar = cc_labeling(net, subgraph, seed=6, engine_impl="array")
+    assert list(ar.output) == list(sc.output)
+    assert _phase_log(ar.ledger) == _phase_log(sc.ledger)
+
+
+# ----------------------------------------------------------------------
+# The ledger really is phase-for-phase, not just in aggregate
+# ----------------------------------------------------------------------
+def test_parity_covers_every_named_phase():
+    net = grid_2d(6, 5, uid_seed=1)
+    partition = random_connected_partition(net, 4, seed=3)
+    values = list(range(net.n))
+    sc = solve_pa(net, partition, values, SUM, seed=9, engine_impl="scalar")
+    ar = solve_pa(net, partition, values, SUM, seed=9, engine_impl="array")
+    sc_log, ar_log = _phase_log(sc.ledger), _phase_log(ar.ledger)
+    assert [p[0] for p in sc_log] == [p[0] for p in ar_log]
+    # The pipeline's interesting phases all actually ran on both sides.
+    names = {p[0] for p in sc_log}
+    assert any("wave" in name for name in names)
+    assert len(sc_log) > 3

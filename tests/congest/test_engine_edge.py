@@ -147,6 +147,52 @@ def test_payload_bits_cached_rejects_unsupported_types():
         payload_bits_cached({"a": 1})
 
 
+def test_numpy_scalars_charge_the_wrapped_python_value():
+    # The wire format does not care about the sender's register type:
+    # np.int64(1), 1 and True all cost 1 bit, at every boundary width.
+    import numpy as np
+
+    assert (
+        payload_bits(np.int64(1)) == payload_bits(1) == payload_bits(True) == 1
+    )
+    for value in (0, 1, -1, 2**31, 2**53 - 1, 2**53, 2**60 - 1, -(2**62)):
+        assert (
+            payload_bits_cached(np.int64(value))
+            == payload_bits_cached(value)
+            == payload_bits(value)
+        )
+    assert payload_bits_cached(np.float64(1.5)) == payload_bits(1.5) == 64
+    assert payload_bits_cached(np.bool_(True)) == 1
+    # np.float64 subclasses float, so it takes the repr-keyed cache path;
+    # its numpy-2 repr must key separately from the plain float without
+    # changing the answer.
+    assert payload_bits_cached(1.0) == payload_bits_cached(np.float64(1.0)) == 64
+    # Numpy scalars nested inside (cacheable) tuples charge like the
+    # plain-int tuple, again via a type-faithful key.
+    assert payload_bits_cached((np.int64(5), "tag")) == payload_bits((5, "tag"))
+    with pytest.raises(TypeError):
+        payload_bits(np.arange(3))  # whole arrays are never a message
+
+
+def test_strict_bits_ledger_identical_for_numpy_and_python_payloads(path10):
+    import numpy as np
+
+    def send_np(ctx):
+        ctx.send(0, 1, ("tok", np.int64(7)))
+
+    def send_py(ctx):
+        ctx.send(0, 1, ("tok", 7))
+
+    silent = lambda ctx, n, inbox: None
+    a = Engine(path10, strict_bits=True).run(
+        FunctionProgram("np", send_np, silent), max_ticks=3
+    )
+    b = Engine(path10, strict_bits=True).run(
+        FunctionProgram("py", send_py, silent), max_ticks=3
+    )
+    assert (a.rounds, a.messages) == (b.rounds, b.messages)
+
+
 # ----------------------------------------------------------------------
 # Deterministic activation order
 # ----------------------------------------------------------------------

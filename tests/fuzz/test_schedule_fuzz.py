@@ -62,6 +62,33 @@ def test_run_case_detects_an_injected_divergence(monkeypatch):
     assert message is not None
 
 
+def test_engine_axis_detects_an_injected_array_divergence(monkeypatch):
+    # Corrupt the array engine's metering (one extra message per phase)
+    # and the scalar-vs-array parity check must notice; the shrinker must
+    # then pin the blame on the engine axis — both implementations kept,
+    # every delayed schedule dropped.
+    from repro.congest import arrays
+
+    case = case_for_index(2, 0)
+    assert run_case(case) is None
+
+    original = arrays.run_array_phase
+
+    def inflated(engine, program, *args, **kwargs):
+        stats = original(engine, program, *args, **kwargs)
+        return replace(stats, messages=stats.messages + 1)
+
+    monkeypatch.setattr(arrays, "run_array_phase", inflated)
+    message = run_case(case)
+    assert message is not None and "array" in message
+
+    shrunk, message = shrink_case(case)
+    assert shrunk.engine_impls == ("scalar", "array")
+    assert shrunk.schedule_kinds == ()
+    assert "ledger parity" in message
+    assert "--engines scalar,array" in shrunk.replay_command()
+
+
 def test_shrinker_minimizes_and_isolates_schedule():
     base = FuzzCase(graph_seed=11, schedule_seed=13, n=32)
 
