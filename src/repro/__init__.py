@@ -32,6 +32,7 @@ from .congest import (
     AsyncEngine,
     CostLedger,
     Engine,
+    FaultPlan,
     Network,
     PhaseStats,
     Schedule,
@@ -50,7 +51,7 @@ from .core import (
 )
 from .families import ShortcutProvider, provider_for
 from .graphs import Partition
-from .runtime import PASession
+from .runtime import PASession, RecoveryDriver
 
 __version__ = "1.0.0"
 
@@ -59,6 +60,7 @@ __all__ = [
     "AsyncEngine",
     "CostLedger",
     "Engine",
+    "FaultPlan",
     "MAX",
     "MIN",
     "MIN_TUPLE",
@@ -68,6 +70,7 @@ __all__ = [
     "PASolver",
     "Partition",
     "PhaseStats",
+    "RecoveryDriver",
     "Schedule",
     "ShortcutProvider",
     "SUM",

@@ -26,7 +26,15 @@ from .errors import (
     InvalidPartitionError,
     NotAnEdgeError,
     RoundLimitExceededError,
+    ScheduleValidationError,
     ShortcutValidationError,
+)
+from .faults import (
+    CrashEvent,
+    FaultPlan,
+    FaultReport,
+    MessageLoss,
+    PartitionEvent,
 )
 from .ledger import (
     CostLedger,
@@ -49,6 +57,7 @@ from .schedule import (
     SlowEdgeSchedule,
     SynchronousSchedule,
     make_schedule,
+    validate_schedule,
 )
 
 __all__ = [
@@ -60,21 +69,27 @@ __all__ = [
     "CongestError",
     "Context",
     "CostLedger",
+    "CrashEvent",
     "Engine",
     "EngineProfile",
     "FIFORandomSchedule",
     "FastContext",
+    "FaultPlan",
+    "FaultReport",
     "FunctionProgram",
     "Inbox",
     "InvalidPartitionError",
+    "MessageLoss",
     "Network",
     "NotAnEdgeError",
+    "PartitionEvent",
     "PhaseStats",
     "Program",
     "RandomDelaySchedule",
     "RoundLimitExceededError",
     "RunResult",
     "Schedule",
+    "ScheduleValidationError",
     "ShortcutValidationError",
     "SlowEdgeSchedule",
     "SynchronousSchedule",
@@ -86,4 +101,5 @@ __all__ = [
     "network_from_networkx",
     "payload_bits",
     "payload_bits_cached",
+    "validate_schedule",
 ]

@@ -46,7 +46,22 @@ wakeup or timer pending — the simulator detects quiescence globally
 instead of running a distributed termination-detection layer, and idle
 nodes charge one "frame" (payload + ack slots) per pulse so the virtual
 clock stays uniform when delays are.  Both affect only the overhead
-accounting, never the main ledger.
+accounting, never the main ledger.  Long idle gaps (a ``wake_at`` far in
+the future) are *fast-forwarded* whenever the schedule promises a
+uniform delay (``Schedule.uniform_delay``): a gap of ``g`` pulses is
+charged its exact walked cost — ``g * (3 + d)`` time units and ``g``
+safe waves — in one jump, leaving every ledger and overhead record
+bit-for-bit identical to the pulse-by-pulse walk (pinned by
+``tests/congest/test_async_fast_forward.py``).
+
+Fault injection: pass a :class:`~repro.congest.faults.FaultPlan` and the
+engine drops crashed nodes' activations, their in-flight and addressed
+payloads, and everything crossing a partitioned cut, all as pure
+functions of the plan and the *global* pulse (the engine accumulates a
+pulse offset across phases).  Each phase's observed injections land in a
+:class:`~repro.congest.faults.FaultReport` on :attr:`AsyncEngine.fault_log`;
+with no plan (or an empty one) every code path, ledger and overhead
+record is bit-for-bit the fault-free engine's.
 """
 
 from __future__ import annotations
@@ -56,10 +71,22 @@ from heapq import heappop, heappush
 from typing import Dict, List, Optional, Set, Tuple
 
 from .engine import Context, FastContext, Program
-from .errors import ChannelCapacityError, RoundLimitExceededError
+from .errors import (
+    ChannelCapacityError,
+    RoundLimitExceededError,
+    ScheduleValidationError,
+)
+from .faults import FaultPlan, FaultReport
 from .ledger import CostLedger, EngineProfile, PhaseStats
 from .network import Network
-from .schedule import ACK, PAYLOAD, SAFE, Schedule, SynchronousSchedule
+from .schedule import (
+    ACK,
+    PAYLOAD,
+    SAFE,
+    Schedule,
+    SynchronousSchedule,
+    validate_schedule,
+)
 
 # Event codes (first tuple slot after (time, seq)).
 _EV_PAYLOAD = 0
@@ -118,6 +145,8 @@ class AsyncEngine:
         strict_bits: bool = True,
         profile: bool = False,
         strict_edges: bool = True,
+        faults: Optional[FaultPlan] = None,
+        fast_forward: bool = True,
     ) -> None:
         if not strict_edges and strict_bits:
             raise ValueError(
@@ -126,15 +155,31 @@ class AsyncEngine:
             )
         self.network = network
         self.schedule = schedule if schedule is not None else SynchronousSchedule()
+        validate_schedule(self.schedule, network)
         self.strict_bits = strict_bits
         self.strict_edges = strict_edges
         self.profile = profile
+        #: The fault plan, normalized so an *empty* plan is no plan at
+        #: all — the no-fault path must be bit-for-bit the fault-free
+        #: engine, with zero extra branches taken.
+        self.faults = faults if faults is not None and not faults.empty else None
+        self.fast_forward = fast_forward
+        #: Idle-gap jumps taken (diagnostic; the jump is cost-exact so
+        #: this never shows in any ledger).
+        self.fast_forward_jumps = 0
+        #: Global pulse offset: phase-local pulse t of the next phase is
+        #: global pulse ``global_pulse + t``.  Fault plans are written in
+        #: global coordinates so crash windows span phase boundaries.
+        self.global_pulse = 0
         #: Synchronizer accounting, separate from every program ledger:
         #: per phase, ``rounds`` = virtual time-units, ``messages`` =
         #: ack + safe control messages.
         self.overhead = CostLedger()
         #: Per-phase :class:`AsyncPhaseOverhead` records, in run order.
         self.overhead_log: List[AsyncPhaseOverhead] = []
+        #: Per-phase :class:`FaultReport` records (only when a non-empty
+        #: plan is installed), in run order.
+        self.fault_log: List[FaultReport] = []
 
     def run(
         self,
@@ -160,9 +205,20 @@ class AsyncEngine:
         ctx = ctx_cls(self.network, self.strict_bits)
         run = _AsyncPhase(
             self.network, self.schedule, program, ctx, max_ticks, capacity,
-            phase_name,
+            phase_name, faults=self.faults, pulse_base=self.global_pulse,
+            fast_forward=self.fast_forward,
         )
-        stats, overhead = run.execute(rounds_per_tick, want_profile)
+        try:
+            stats, overhead = run.execute(rounds_per_tick, want_profile)
+        finally:
+            self.fast_forward_jumps += run.jumps
+            # Advance global time even when the phase dies mid-flight (a
+            # fault-aborted attempt must not freeze the fault clock, or a
+            # crash window could never pass): the horizon reached is the
+            # phase's pulse span, and equals stats.ticks on success.
+            self.global_pulse += run.last_interesting
+            if self.faults is not None:
+                self.fault_log.append(run.fault_report)
         self.overhead.charge(
             PhaseStats(
                 name=phase_name,
@@ -187,6 +243,9 @@ class _AsyncPhase:
         max_ticks: int,
         capacity: int,
         phase_name: str,
+        faults: Optional[FaultPlan] = None,
+        pulse_base: int = 0,
+        fast_forward: bool = True,
     ) -> None:
         self.net = net
         self.schedule = schedule
@@ -195,6 +254,11 @@ class _AsyncPhase:
         self.max_ticks = max_ticks
         self.capacity = capacity
         self.phase_name = phase_name
+        self.faults = faults
+        self.pulse_base = pulse_base
+        self.fast_forward = fast_forward
+        self.fault_report = FaultReport(phase=phase_name, base_pulse=pulse_base)
+        self.jumps = 0
 
         n = net.n
         self.neighbors = net.neighbors
@@ -231,6 +295,11 @@ class _AsyncPhase:
         self.stalled_safe: Dict[int, List[int]] = {}
         #: FIFO clamp: directed edge -> last payload arrival time.
         self.fifo_last: Dict[Tuple[int, int], int] = {}
+        #: Undelivered-work counters (fast-forward preconditions): total
+        #: buffered mailbox entries and distinct pending wake pulses.
+        self.mail_total = 0
+        self.wake_total = 0
+        self.two_m = sum(self.deg)
 
         self.heap: List[tuple] = []
         self.event_seq = 0
@@ -277,7 +346,16 @@ class _AsyncPhase:
     # -- the synchronizer protocol --------------------------------------
     def _fan_out_safe(self, u: int, t: int, now: int) -> None:
         schedule_delay = self.schedule.delay
+        faults = self.faults
         for nb in self.neighbors[u]:
+            if faults is not None and faults.edge_down(
+                u, nb, self.pulse_base + t + 1
+            ):
+                # The safe wave crossing a partitioned cut is lost; the
+                # far side's pulse gate stays shut until the cut heals or
+                # the phase quiesces early (both tainting the run).
+                self.fault_report.dropped_control += 1
+                continue
             self._push(now + 1 + schedule_delay(u, nb, t, SAFE), (_EV_SAFE, nb, t))
         self.safe_msgs += len(self.neighbors[u])
 
@@ -321,6 +399,14 @@ class _AsyncPhase:
                 for src, payload in box:
                     self.emit_seq += 1
                     arrival = now + 1 + schedule_delay(src, dst, sender_pulse, PAYLOAD)
+                    if arrival < now + 1:
+                        # Runtime backstop behind validate_schedule's
+                        # construction probe: an event in the past would
+                        # silently corrupt the queue.
+                        raise ScheduleValidationError(
+                            self.schedule, src, dst, sender_pulse, PAYLOAD,
+                            f"returned negative delay {arrival - now - 1}",
+                        )
                     if fifo:
                         key = (src, dst)
                         prev = fifo_last.get(key, 0)
@@ -353,7 +439,10 @@ class _AsyncPhase:
                         f"after the node already passed it (cross-node wakes "
                         "are only legal in on_start)"
                     )
-                self.wake_pending[w].add(target)
+                bucket = self.wake_pending[w]
+                if target not in bucket:
+                    bucket.add(target)
+                    self.wake_total += 1
             ctx._wakeups.clear()
             self._raise_horizon(target, now)
         if ctx._timers:
@@ -377,6 +466,7 @@ class _AsyncPhase:
         mail = self.mailbox[v].pop(t, None)
         if not mail:
             return ()
+        self.mail_total -= len(mail)
         # Canonical resequencing: the synchronous engine delivers each
         # inbox sorted (stably) by sender, which preserves each sender's
         # emission order — exactly (sender, emit_seq) order here, no
@@ -428,10 +518,27 @@ class _AsyncPhase:
         woken = t in self.wake_pending[v]
         if woken:
             self.wake_pending[v].discard(t)
+            self.wake_total -= 1
         inbox = self._build_inbox(v, t)
 
         sent = 0
-        if inbox or woken or timer_hit:
+        if self.faults is not None and not self.faults.alive(
+            v, self.pulse_base + t
+        ):
+            # A crashed node never activates: wakeups and timers landing
+            # on its dead pulses die with it (payloads were already
+            # dropped at delivery).  Its pulse still walks forward via
+            # the SELF_SAFE below — the simulator's stand-in for
+            # neighbors whose failure detectors presume it dead rather
+            # than gating on it forever.
+            report = self.fault_report
+            if inbox or woken or timer_hit:
+                report.suppressed_activations += 1
+            if woken:
+                report.dropped_wakeups += 1
+            if timer_hit:
+                report.dropped_timers += 1
+        elif inbox or woken or timer_hit:
             self.activations += 1
             self.live_pulses.add(t)
             ctx = self.ctx
@@ -444,6 +551,64 @@ class _AsyncPhase:
             # under uniform delays (see module docstring).
             self._push(now + 2, (_EV_SELF_SAFE, v, t))
         self._try_queue(v)
+
+    def _maybe_fast_forward(self) -> None:
+        """Jump over an all-idle pulse gap to the next timer, cost-exactly.
+
+        Preconditions (checked here; the caller guarantees the heap is
+        empty): every node is gate-open for the same next pulse ``t``,
+        nothing is buffered or pending anywhere (no mail, no wakes, no
+        stalled safes, no horizon waiters), the only future work is a
+        ``wake_at`` timer at ``T > t``, and the schedule promises one
+        uniform delay ``d``.  Walking that gap would execute ``T - t``
+        identical idle frames: each enters a pulse, self-safes at +2 and
+        fans safes arriving at +3+d — so the walk costs exactly
+        ``(T - t) * (3 + d)`` time units and ``(T - t)`` full safe waves
+        (``2m`` messages each), and leaves every node about to enter
+        ``T``.  The jump applies that closed form and reproduces the
+        walk's state verbatim: stats, overhead records and skew are
+        bit-for-bit identical (pinned by the fast-forward parity tests).
+
+        With a fault plan installed, crashes and message loss are inert
+        across idle frames (no activations, no payloads; zombie pulses
+        walk identically), but a partition drops safe waves — which
+        *stalls* rather than walks — so any plan with partitions
+        disables the jump.
+        """
+        ready = self.ready
+        n = self.net.n
+        if len(ready) != n or not self.timers:
+            return
+        if self.mail_total or self.wake_total:
+            return
+        if self.stalled_safe or self.li_waiters:
+            return
+        if self.faults is not None and self.faults.partitions:
+            return
+        t = ready[0][0]
+        for entry in ready:
+            if entry[0] != t:
+                return
+        next_timer = min(self.timers)
+        if next_timer <= t:
+            return
+        d = self.schedule.uniform_delay()
+        if d is None:
+            return
+        gap = next_timer - t
+        self.clock += gap * (3 + d)
+        self.safe_msgs += gap * self.two_m
+        deg = self.deg
+        at = next_timer - 1
+        for v in range(n):
+            self.pulse[v] = at
+            self.safe_cnt[v] = {at: deg[v]}
+        self.pulse_pop = {at: n}
+        self.min_pulse = at
+        self.max_pulse = at
+        self.ready = [(next_timer, v) for v in range(n)]
+        self.ready_set = set(range(n))
+        self.jumps += 1
 
     # -- main loop -------------------------------------------------------
     def execute(
@@ -467,6 +632,8 @@ class _AsyncPhase:
             # clock; executing may open further gates at the same
             # timestamp (horizon raises, banked safes), so drain fully.
             if self.ready:
+                if self.fast_forward and not heap:
+                    self._maybe_fast_forward()
                 batch = self.ready
                 self.ready = []
                 batch.sort()
@@ -484,9 +651,34 @@ class _AsyncPhase:
                 code = event[2]
                 if code == _EV_PAYLOAD:
                     _t, _s, _c, dst, tpulse, src, eseq, payload = event
+                    faults = self.faults
+                    if faults is not None:
+                        gp = self.pulse_base + tpulse
+                        if (
+                            not faults.alive(dst, gp)
+                            or not faults.alive(src, gp)
+                            or faults.edge_down(src, dst, gp)
+                            or faults.lost(src, dst, gp)
+                        ):
+                            # Dropped delivery — dead receiver, sender
+                            # crashed with the message in flight, cut
+                            # edge, or seeded loss.  The payload dies,
+                            # but the sender gets a transport-level
+                            # delivery timeout in the ack's place so the
+                            # synchronizer's unacked count always drains
+                            # (faults taint runs; they never hang them).
+                            self.fault_report.dropped_payloads += 1
+                            self.fault_report.delivery_timeouts += 1
+                            self._push(
+                                now + 1
+                                + self.schedule.delay(dst, src, tpulse - 1, ACK),
+                                (_EV_ACK, src, tpulse - 1),
+                            )
+                            continue
                     self.mailbox[dst].setdefault(tpulse, []).append(
                         (src, eseq, payload)
                     )
+                    self.mail_total += 1
                     self.in_flight[tpulse] = self.in_flight.get(tpulse, 0) + 1
                     self.ack_msgs += 1
                     self._push(

@@ -89,6 +89,39 @@ class InvalidPartitionError(CongestError):
     """
 
 
+class ScheduleValidationError(CongestError):
+    """A delivery schedule violated its contract (negative delay or
+    non-determinism).
+
+    Schedules must be pure functions of ``(src, dst, pulse, kind)``
+    returning non-negative int delays; anything else would corrupt the
+    async engine's event queue (events in the past, irreproducible
+    orderings).  Raised by
+    :func:`repro.congest.schedule.validate_schedule` — called at
+    :class:`~repro.congest.AsyncEngine` construction — or by the
+    engine's per-message runtime guard on a coordinate the construction
+    probe missed.
+    """
+
+    def __init__(
+        self, schedule, src: int, dst: int, pulse: int, kind: int,
+        problem: str,
+    ) -> None:
+        from .schedule import _KIND_NAMES
+
+        name = getattr(schedule, "name", type(schedule).__name__)
+        kind_name = _KIND_NAMES.get(kind, str(kind))
+        super().__init__(
+            f"schedule {name!r}: delay({src}, {dst}, pulse={pulse}, "
+            f"kind={kind_name}) {problem}"
+        )
+        self.schedule = schedule
+        self.src = src
+        self.dst = dst
+        self.pulse = pulse
+        self.kind = kind
+
+
 class ShortcutValidationError(CongestError):
     """A claimed tree-restricted shortcut violates Definition 2.2.
 

@@ -65,6 +65,21 @@ class Schedule:
         """Extra delay (>= 0 time units) for one message."""
         raise NotImplementedError
 
+    def uniform_delay(self) -> "int | None":
+        """The single constant this schedule assigns to *every* message,
+        or ``None`` if delays vary by coordinate.
+
+        This is a promise, not a measurement: a subclass may only return
+        an int here if ``delay`` returns that value for all
+        ``(src, dst, pulse, kind)``.  The async engine uses it to
+        fast-forward long idle gaps (``wake_at`` far in the future)
+        without walking each pulse frame — under a uniform delay ``d``
+        every idle pulse costs exactly ``3 + d`` time units and one safe
+        wave, so the jump is exact.  The conservative default ``None``
+        disables the shortcut.
+        """
+        return None
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r})"
 
@@ -84,6 +99,9 @@ class SynchronousSchedule(Schedule):
     fifo = True
 
     def delay(self, src: int, dst: int, pulse: int, kind: int) -> int:
+        return 0
+
+    def uniform_delay(self) -> int:
         return 0
 
 
@@ -107,6 +125,9 @@ class RandomDelaySchedule(Schedule):
         if self.max_delay == 0:
             return 0
         return _mix(self.seed, src, dst, pulse, kind) % (self.max_delay + 1)
+
+    def uniform_delay(self) -> "int | None":
+        return 0 if self.max_delay == 0 else None
 
 
 class SlowEdgeSchedule(Schedule):
@@ -141,6 +162,13 @@ class SlowEdgeSchedule(Schedule):
 
     def delay(self, src: int, dst: int, pulse: int, kind: int) -> int:
         return self.slow_delay if self.is_slow(src, dst) else 0
+
+    def uniform_delay(self) -> "int | None":
+        if self.slow_delay == 0 or self.slow_fraction == 0.0:
+            return 0
+        if self.slow_fraction == 1.0:
+            return self.slow_delay
+        return None
 
 
 class FIFORandomSchedule(RandomDelaySchedule):
@@ -184,3 +212,55 @@ def make_schedule(
     raise ValueError(
         f"unknown schedule kind {kind!r} (expected one of {SCHEDULE_KINDS})"
     )
+
+
+def validate_schedule(
+    schedule: Schedule,
+    network,
+    pulses: "tuple[int, ...]" = (0, 1, 7, 64),
+    max_edges: int = 8,
+) -> None:
+    """Probe a schedule for the two contract violations that silently
+    corrupt the event queue: negative delays (events in the past) and
+    non-determinism (the same message coordinate answering differently
+    across calls, which breaks replayability and the FIFO clamp).
+
+    The probe samples real directed edges of ``network`` across a few
+    pulses and all message kinds, calling ``delay`` twice per coordinate.
+    It cannot prove a schedule correct — the per-message runtime guard in
+    the async engine backstops coordinates the probe missed — but it
+    catches the common bugs at construction, with a clear error instead
+    of a corrupted heap.  Raises
+    :class:`~repro.congest.errors.ScheduleValidationError`.
+    """
+    from .errors import ScheduleValidationError
+
+    edges = []
+    for u, v in network.edges[:max_edges]:
+        edges.append((u, v))
+        edges.append((v, u))
+    if not edges:
+        return
+    for src, dst in edges:
+        for pulse in pulses:
+            for kind in (PAYLOAD, ACK, SAFE):
+                d = schedule.delay(src, dst, pulse, kind)
+                if not isinstance(d, int) or isinstance(d, bool):
+                    raise ScheduleValidationError(
+                        schedule, src, dst, pulse, kind,
+                        f"returned {d!r} ({type(d).__name__}); delays must "
+                        "be non-negative ints",
+                    )
+                if d < 0:
+                    raise ScheduleValidationError(
+                        schedule, src, dst, pulse, kind,
+                        f"returned negative delay {d}",
+                    )
+                again = schedule.delay(src, dst, pulse, kind)
+                if again != d:
+                    raise ScheduleValidationError(
+                        schedule, src, dst, pulse, kind,
+                        f"is non-deterministic: returned {d} then {again} "
+                        "for the same message coordinate (schedules must be "
+                        "pure functions of (src, dst, pulse, kind))",
+                    )

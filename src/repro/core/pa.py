@@ -153,6 +153,14 @@ class PASolver:
         payload columns, bit-for-bit the same ledger (pinned by the fuzz
         harness's engine axis); ``"scalar"`` forces the per-message
         reference loop.  Asynchronous execution is always scalar.
+    engine:
+        A pre-built engine to run every phase on (mutually exclusive
+        with ``schedule``/``async_mode``; ``strict_bits``/``strict_edges``
+        and ``engine_impl`` are then the engine's own).  This is how the
+        recovery runtime shares one fault-injecting
+        :class:`~repro.congest.AsyncEngine` — with its global pulse
+        clock, overhead ledger and fault log — across the fresh solvers
+        of successive recovery attempts.
     """
 
     def __init__(
@@ -166,24 +174,38 @@ class PASolver:
         schedule: Optional[Schedule] = None,
         async_mode: bool = False,
         engine_impl: str = "array",
+        engine: Optional[object] = None,
     ) -> None:
         if mode not in (RANDOMIZED, DETERMINISTIC):
             raise ValueError(f"unknown mode {mode!r}")
         if engine_impl not in ("scalar", "array"):
             raise ValueError(f"unknown engine_impl {engine_impl!r}")
+        if engine is not None and (schedule is not None or async_mode):
+            raise ValueError(
+                "pass either engine or schedule/async_mode, not both "
+                "(the engine already owns its schedule)"
+            )
         if async_mode and schedule is None:
             schedule = SynchronousSchedule()
         self.net = net
         self.mode = mode
-        self.schedule = schedule
-        self.engine_impl = engine_impl
         self.rng = random.Random(seed)
-        if schedule is not None:
+        if engine is not None:
+            self.engine = engine
+            self.schedule = getattr(engine, "schedule", None)
+            self.engine_impl = (
+                "array" if getattr(engine, "use_arrays", False) else "scalar"
+            )
+        elif schedule is not None:
+            self.schedule = schedule
+            self.engine_impl = engine_impl
             self.engine = AsyncEngine(
                 net, schedule=schedule,
                 strict_bits=strict_bits, strict_edges=strict_edges,
             )
         else:
+            self.schedule = schedule
+            self.engine_impl = engine_impl
             self.engine = Engine(
                 net, strict_bits=strict_bits, strict_edges=strict_edges,
                 use_arrays=(engine_impl == "array"),

@@ -10,16 +10,22 @@ randomized counterexample hunts:
   and delay schedules, runs PA / MST / connected components under sync
   vs. async execution, and checks output equivalence plus delay-0 ledger
   parity;
-* every failure is *shrunk* (smaller graph, isolated schedule) and
-  reported as a replayable ``(graph_seed, schedule_seed)`` pair;
+* every other PA/MST case also injects a seeded recoverable
+  :class:`~repro.congest.FaultPlan` and demands the
+  :class:`~repro.runtime.RecoveryDriver` re-converge to the fault-free
+  output;
+* every failure is *shrunk* (smaller graph, isolated axis) and reported
+  as a replayable ``(graph_seed, schedule_seed, fault_seed)`` triple;
 * ``python -m repro.fuzz --runs 25`` is the CLI the CI fuzz step runs,
-  with ``--replay graph_seed:schedule_seed`` to reproduce a failure.
+  with ``--replay graph_seed:schedule_seed[:fault_seed]`` to reproduce
+  a failure.
 """
 
 from .harness import (
     FuzzCase,
     FuzzFailure,
     case_for_index,
+    fault_plan_for,
     fuzz,
     run_case,
     shrink_case,
@@ -29,6 +35,7 @@ __all__ = [
     "FuzzCase",
     "FuzzFailure",
     "case_for_index",
+    "fault_plan_for",
     "fuzz",
     "run_case",
     "shrink_case",

@@ -1,11 +1,11 @@
 """CLI for the schedule fuzzer: ``python -m repro.fuzz --runs 25``.
 
 Exit status 0 when every case passes, 1 when any fails (after
-shrinking); ``--out`` writes the failing replay seeds as JSON — the CI
-fuzz step uploads that file as an artifact.  ``--replay
-graph_seed:schedule_seed`` re-runs one case exactly (combine with
-``--n/--algorithm/--mode/--graph`` as printed in the failure's replay
-line).
+shrinking); ``--out`` writes the failing replay seed triples as JSON —
+the CI fuzz step uploads that file as an artifact.  ``--replay
+graph_seed:schedule_seed[:fault_seed]`` re-runs one case exactly
+(combine with ``--n/--algorithm/--mode/--graph/--faults`` as printed in
+the failure's replay line).
 """
 
 from __future__ import annotations
@@ -20,6 +20,7 @@ from .harness import (
     ALGORITHMS,
     DELAYED_KINDS,
     ENGINE_IMPLS,
+    FAULT_KINDS,
     GRAPH_KINDS,
     FuzzCase,
     FuzzFailure,
@@ -44,8 +45,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="write failing replay seeds to this JSON file")
     parser.add_argument("--no-shrink", action="store_true",
                         help="report failures without minimizing them")
-    parser.add_argument("--replay", metavar="GSEED:SSEED", default=None,
-                        help="replay one case from a failure's seed pair")
+    parser.add_argument("--replay", metavar="GSEED:SSEED[:FSEED]",
+                        default=None,
+                        help="replay one case from a failure's seed triple")
     parser.add_argument("--n", type=int, default=24,
                         help="graph size for --replay")
     parser.add_argument("--algorithm", choices=ALGORITHMS, default="pa",
@@ -60,6 +62,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--engines", default=",".join(ENGINE_IMPLS),
                         help="comma-separated sync engine implementations "
                              "for --replay (scalar is the baseline)")
+    parser.add_argument("--faults", default="",
+                        help="comma-separated fault kinds for --replay "
+                             "(empty = no fault axis)")
     args = parser.parse_args(argv)
 
     schedule_kinds = tuple(k for k in args.schedules.split(",") if k)
@@ -74,14 +79,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error(
             f"unknown engine impl(s) {unknown}; choose from {ENGINE_IMPLS}"
         )
+    fault_kinds = tuple(k for k in args.faults.split(",") if k)
+    unknown = [k for k in fault_kinds if k not in FAULT_KINDS]
+    if unknown:
+        parser.error(
+            f"unknown fault kind(s) {unknown}; choose from {FAULT_KINDS}"
+        )
 
     if args.replay is not None:
-        graph_seed, _, schedule_seed = args.replay.partition(":")
+        parts = args.replay.split(":")
+        if len(parts) not in (2, 3):
+            parser.error("--replay expects GSEED:SSEED or GSEED:SSEED:FSEED")
+        graph_seed, schedule_seed = parts[0], parts[1]
+        fault_seed = parts[2] if len(parts) == 3 else "0"
         case = FuzzCase(
             graph_seed=int(graph_seed), schedule_seed=int(schedule_seed or 0),
             n=args.n, algorithm=args.algorithm, mode=args.mode,
             graph_kind=args.graph, schedule_kinds=schedule_kinds,
             engine_impls=engine_impls,
+            fault_seed=int(fault_seed or 0), fault_kinds=fault_kinds,
         )
         message = run_case(case)
         if message is None:

@@ -19,11 +19,21 @@ slow-edge and FIFO schedules — and demands:
   scalar engine's phase log bit for bit too — the vectorized core is a
   pure implementation change, never a cost-model change.
 
+A third axis injects **faults**: every other PA/MST case derives a
+seeded, recoverable :class:`~repro.congest.FaultPlan` (crash/recover
+and/or bounded message loss) purely from a ``fault_seed``, runs the
+workload through the :class:`~repro.runtime.RecoveryDriver` (heartbeat
+detection, Algorithm 9 re-election, recompute-until-clean), and demands
+the recovered output equal the fault-free one.  The full case identity
+is then the ``(graph_seed, schedule_seed, fault_seed)`` triple.
+
 Failures shrink before being reported: the graph is re-drawn at smaller
 sizes (same seeds) while the failure persists, then the failing axis is
-isolated — either a single schedule kind, or the scalar-vs-array engine
-pair with no delayed schedules at all — so the replay line names the
-smallest configuration the harness could still break.
+isolated — the fault axis is dropped if the failure survives without
+it (or the other axes are stripped if it does not), then either a
+single schedule kind or the scalar-vs-array engine pair with no delayed
+schedules at all — so the replay line names the smallest configuration
+the harness could still break.
 """
 
 from __future__ import annotations
@@ -34,6 +44,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..algorithms.components import cc_labeling
 from ..algorithms.mst import minimum_spanning_tree
 from ..analysis.reference import kruskal_mst
+from ..congest.faults import FaultPlan
 from ..congest.schedule import Schedule, _mix, make_schedule
 from ..core.aggregation import SUM
 from ..core.pa import DETERMINISTIC, RANDOMIZED, solve_pa
@@ -52,6 +63,8 @@ GRAPH_KINDS = ("grid", "random", "regular", "pref-attach")
 DELAYED_KINDS = ("random", "slow-edge", "fifo")
 #: Synchronous engine implementations; "scalar" is the reference.
 ENGINE_IMPLS = ("scalar", "array")
+#: Recoverable fault mixes a case may inject (shrinking may drop them).
+FAULT_KINDS = ("crash", "loss", "crash-loss")
 
 
 @dataclass(frozen=True)
@@ -69,16 +82,24 @@ class FuzzCase:
     #: Sync engine implementations to compare (first one is the baseline;
     #: shrinking may drop the axis to ("scalar",) if it is not at fault).
     engine_impls: Tuple[str, ...] = ENGINE_IMPLS
+    #: Fault axis: which recoverable fault mixes to inject (empty = none)
+    #: and the seed the FaultPlan is derived from.
+    fault_seed: int = 0
+    fault_kinds: Tuple[str, ...] = ()
 
     def replay_command(self) -> str:
-        return (
+        cmd = (
             "python -m repro.fuzz --replay "
-            f"{self.graph_seed}:{self.schedule_seed} --n {self.n} "
+            f"{self.graph_seed}:{self.schedule_seed}:{self.fault_seed} "
+            f"--n {self.n} "
             f"--algorithm {self.algorithm} --mode {self.mode} "
             f"--graph {self.graph_kind} "
             f"--schedules {','.join(self.schedule_kinds)} "
             f"--engines {','.join(self.engine_impls)}"
         )
+        if self.fault_kinds:
+            cmd += f" --faults {','.join(self.fault_kinds)}"
+        return cmd
 
 
 @dataclass
@@ -98,6 +119,8 @@ class FuzzFailure:
             "graph_kind": self.case.graph_kind,
             "schedule_kinds": list(self.case.schedule_kinds),
             "engine_impls": list(self.case.engine_impls),
+            "fault_seed": self.case.fault_seed,
+            "fault_kinds": list(self.case.fault_kinds),
             "message": self.message,
             "replay": self.case.replay_command(),
         }
@@ -118,9 +141,16 @@ def case_for_index(base_seed: int, index: int, max_n: int = 36) -> FuzzCase:
     # MST runs three engine pipelines per Boruvka phase; keep it smaller.
     if algorithm == "mst":
         n = min(n, 28)
+    # Fault axis: every other PA/MST case injects a seeded recoverable
+    # FaultPlan (components has no recovery driver, so it stays clean).
+    fault_seed = _mix(base_seed, index, 7) % (1 << 30)
+    fault_kinds: Tuple[str, ...] = ()
+    if algorithm in ("pa", "mst") and _mix(base_seed, index, 6) % 2 == 0:
+        fault_kinds = (FAULT_KINDS[_mix(base_seed, index, 8) % len(FAULT_KINDS)],)
     return FuzzCase(
         graph_seed=graph_seed, schedule_seed=schedule_seed, n=n,
         algorithm=algorithm, mode=mode, graph_kind=graph_kind,
+        fault_seed=fault_seed, fault_kinds=fault_kinds,
     )
 
 
@@ -141,6 +171,26 @@ def build_network(case: FuzzCase):
     else:
         net = random_connected(n, 0.08, seed=seed, uid_seed=seed)
     return with_distinct_weights(net, seed=seed)
+
+
+def fault_plan_for(case: FuzzCase, n: int) -> Optional[FaultPlan]:
+    """The case's seeded fault plan (None when the fault axis is off).
+
+    Every plan is *recoverable* — crashes recover and losses stop — so
+    the RecoveryDriver is always expected to converge; a case that does
+    not is a finding, not an impossible ask.
+    """
+    if not case.fault_kinds:
+        return None
+    want_crash = any("crash" in kind for kind in case.fault_kinds)
+    want_loss = any("loss" in kind for kind in case.fault_kinds)
+    return FaultPlan.seeded(
+        case.fault_seed, n,
+        crashes=(1 + case.fault_seed % 2) if want_crash else 0,
+        recover=True, crash_window=(3, 30), outage=(8, 30),
+        loss_rate=(0.02 + (case.fault_seed % 5) * 0.02) if want_loss else 0.0,
+        loss_window=(1, 40),
+    )
 
 
 def schedules_for(case: FuzzCase) -> List[Schedule]:
@@ -255,6 +305,27 @@ def run_case(case: FuzzCase) -> Optional[str]:
             )
             if sched_out != base_out:
                 return f"output diverged under schedule {schedule.name}"
+
+        if case.fault_kinds and case.algorithm in ("pa", "mst"):
+            from ..runtime.recovery import RecoveryDriver
+
+            plan = fault_plan_for(case, net.n)
+            driver = RecoveryDriver(
+                net, faults=plan, mode=case.mode,
+                seed=case.graph_seed % 997,
+                max_attempts=12, max_wait_windows=160,
+            )
+            if case.algorithm == "pa":
+                res = driver.solve_pa(partition, values, SUM)
+                fault_out = (dict(res.aggregates), list(res.value_at_node))
+            else:
+                res = driver.minimum_spanning_tree()
+                fault_out = res.output
+            if fault_out != base_out:
+                return (
+                    "recovered output diverged from the fault-free run "
+                    f"under faults {','.join(case.fault_kinds)}"
+                )
         return None
     except Exception as exc:  # a crash is a finding, not a harness error
         return f"{type(exc).__name__}: {exc}"
@@ -266,11 +337,13 @@ def shrink_case(
 ) -> Tuple[FuzzCase, str]:
     """Minimize a failing case; returns (smallest failing case, message).
 
-    Three shrink axes, all preserving the replay seeds: the graph size
-    is walked down while the failure persists, then the failing axis is
-    isolated — if the case still fails with the engine axis dropped
-    (scalar only) the engine comparison was not at fault and a single
-    failing schedule kind is sought; otherwise the divergence is the
+    Four shrink axes, all preserving the replay seeds: the graph size
+    is walked down while the failure persists; the fault axis is
+    dropped if the failure reproduces without it, else the other
+    optional axes are stripped so only the seed triple remains; then —
+    if the case still fails with the engine axis dropped (scalar only)
+    the engine comparison was not at fault and a single failing
+    schedule kind is sought; otherwise the divergence is the
     scalar-vs-array engine pair, and the delayed schedules are dropped
     instead if the engine pair alone still reproduces it.
     """
@@ -294,6 +367,23 @@ def shrink_case(
             current, message = candidate, failed
         else:
             step //= 2
+    # Axis 1.5: is the fault axis guilty?  If the failure survives with
+    # the faults dropped they were innocent — shed them and let the
+    # later axes isolate further.  If it does not, the faults are
+    # required: strip the *other* optional axes instead so the replay
+    # line is the bare (graph, schedule, fault) seed triple.
+    if current.fault_kinds:
+        candidate = replace(current, fault_kinds=())
+        failed = check(candidate)
+        if failed is not None:
+            current, message = candidate, failed
+        else:
+            candidate = replace(
+                current, engine_impls=("scalar",), schedule_kinds=()
+            )
+            failed = check(candidate)
+            if failed is not None:
+                current, message = candidate, failed
     # Axis 2: which engine diverged?  If the failure survives without the
     # array engine, the engine axis is innocent; otherwise keep the
     # engine pair and try dropping the delayed schedules entirely.
@@ -343,10 +433,12 @@ def fuzz(
         message = run_case(case)
         if message is None:
             if log:
+                faults = ",".join(case.fault_kinds) or "none"
                 log(
                     f"[fuzz] ok   #{index} {case.algorithm}/{case.mode} "
-                    f"{case.graph_kind} n={case.n} "
-                    f"seeds={case.graph_seed}:{case.schedule_seed}"
+                    f"{case.graph_kind} n={case.n} faults={faults} "
+                    f"seeds={case.graph_seed}:{case.schedule_seed}:"
+                    f"{case.fault_seed}"
                 )
             continue
         if shrink:

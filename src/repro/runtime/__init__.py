@@ -8,7 +8,13 @@ All seven algorithm entry points route their PA through a session; with
 the opt-ins off the session is a transparent facade over
 :class:`~repro.core.pa.PASolver` — bit-for-bit, pinned by tests.
 
-See docs/architecture.md, "Runtime sessions".
+:class:`RecoveryDriver` (:mod:`repro.runtime.recovery`) adds the
+fault-tolerance layer: heartbeat failure detection, Algorithm 9 leader
+re-election and recompute-until-clean on a fault-injecting
+:class:`~repro.congest.AsyncEngine`, with the whole recovery tax on its
+own ``recovery_overhead`` ledger.
+
+See docs/architecture.md, "Runtime sessions" and "Fault model".
 """
 
 from .session import (
@@ -17,9 +23,19 @@ from .session import (
     ensure_session,
     partition_fingerprint,
 )
+from .recovery import (
+    HeartbeatConfig,
+    RecoveryDriver,
+    RecoveryExhaustedError,
+    RecoveryStats,
+)
 
 __all__ = [
+    "HeartbeatConfig",
     "PASession",
+    "RecoveryDriver",
+    "RecoveryExhaustedError",
+    "RecoveryStats",
     "SessionStats",
     "ensure_session",
     "partition_fingerprint",

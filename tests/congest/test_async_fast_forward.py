@@ -1,0 +1,233 @@
+"""Timer-wheel fast-forward and schedule input validation."""
+
+import itertools
+
+import pytest
+
+from repro.congest import (
+    AsyncEngine,
+    RandomDelaySchedule,
+    Schedule,
+    ScheduleValidationError,
+    SlowEdgeSchedule,
+    SynchronousSchedule,
+    validate_schedule,
+)
+from repro.congest.engine import FunctionProgram
+from repro.graphs import grid_2d, path_graph
+
+#: Schedules whose delay is one constant for every message — the only
+#: ones the fast-forward jump is allowed to fire under.
+UNIFORM_SCHEDULES = [
+    SynchronousSchedule(),
+    RandomDelaySchedule(seed=1, max_delay=0),
+    SlowEdgeSchedule(seed=2, slow_fraction=1.0, slow_delay=4),
+]
+
+
+def _sparse_timer_program(net, record):
+    """A burst of flooding, then a long idle gap until a lone timer."""
+
+    def start(ctx):
+        for nb in net.neighbors[0]:
+            ctx.send(0, nb, ("tok",))
+        ctx.wake_at(1, 25)
+        ctx.wake_at(0, 40)
+
+    def step(ctx, node, inbox):
+        record.append((node, ctx.tick, len(inbox)))
+
+    return FunctionProgram("sparse", start, step)
+
+
+def _overhead_records(engine):
+    return [
+        (r.name, r.pulses, r.time_units, r.payload_messages,
+         r.ack_messages, r.safe_messages, r.max_skew)
+        for r in engine.overhead_log
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Fast-forward: exact-cost jumps over idle pulse gaps
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("schedule", UNIFORM_SCHEDULES, ids=lambda s: s.name)
+def test_jump_matches_walk_bit_for_bit(schedule):
+    net = grid_2d(3, 4)
+    walked, jumped = [], []
+    slow = AsyncEngine(net, schedule, fast_forward=False)
+    slow_stats = slow.run(_sparse_timer_program(net, walked), max_ticks=60)
+    fast = AsyncEngine(net, schedule)
+    fast_stats = fast.run(_sparse_timer_program(net, jumped), max_ticks=60)
+    assert jumped == walked
+    assert fast_stats == slow_stats
+    # The synchronizer tax is identical too: the jump charges exactly
+    # what the walked idle pulses would have cost.
+    assert _overhead_records(fast) == _overhead_records(slow)
+    assert fast.overhead.phases() == slow.overhead.phases()
+    assert slow.fast_forward_jumps == 0
+
+
+@pytest.mark.parametrize("schedule", UNIFORM_SCHEDULES, ids=lambda s: s.name)
+def test_lockstep_idle_gaps_are_jumped(schedule):
+    # With no payload traffic every node stays in lockstep, so the jump
+    # preconditions hold in each idle gap.  (A flood at delay > 0 can
+    # leave cohorts time-shifted, in which case the engine keeps
+    # walking — parity above covers that path.)
+    net = grid_2d(3, 4)
+    fired = []
+
+    def start(ctx):
+        ctx.wake_at(1, 25)
+        ctx.wake_at(0, 40)
+
+    def step(ctx, node, inbox):
+        fired.append((node, ctx.tick))
+
+    fast = AsyncEngine(net, schedule)
+    slow = AsyncEngine(net, schedule, fast_forward=False)
+    fast_stats = fast.run(FunctionProgram("timers", start, step), max_ticks=60)
+    fired_fast, fired[:] = list(fired), []
+    slow_stats = slow.run(FunctionProgram("timers", start, step), max_ticks=60)
+    assert fired_fast == fired == [(1, 25), (0, 40)]
+    assert fast_stats == slow_stats
+    assert _overhead_records(fast) == _overhead_records(slow)
+    assert fast.fast_forward_jumps >= 2  # one per idle gap
+
+
+def test_varying_delay_schedules_never_jump():
+    net = grid_2d(3, 4)
+    record = []
+    engine = AsyncEngine(net, RandomDelaySchedule(seed=3, max_delay=2))
+    engine.run(_sparse_timer_program(net, record), max_ticks=60)
+    assert engine.fast_forward_jumps == 0
+    assert (1, 25, 0) in record and (0, 40, 0) in record
+
+
+def test_uniform_delay_contract():
+    assert SynchronousSchedule().uniform_delay() == 0
+    assert RandomDelaySchedule(seed=1, max_delay=0).uniform_delay() == 0
+    assert RandomDelaySchedule(seed=1, max_delay=3).uniform_delay() is None
+    assert SlowEdgeSchedule(seed=1, slow_fraction=1.0, slow_delay=4).uniform_delay() == 4
+    assert SlowEdgeSchedule(seed=1, slow_fraction=0.0, slow_delay=4).uniform_delay() == 0
+    assert SlowEdgeSchedule(seed=1, slow_fraction=0.5, slow_delay=4).uniform_delay() is None
+    assert Schedule().uniform_delay() is None  # base class: no promise
+
+
+def test_fast_forward_jump_is_cost_exact_in_closed_form():
+    # One lone timer at pulse 10 and no messages at all: the whole phase
+    # is idle pulses, each costing (3 + d) time units and 2m safe
+    # messages at uniform delay d.
+    net = path_graph(3)
+    m2 = sum(len(net.neighbors[v]) for v in range(net.n))
+
+    def start(ctx):
+        ctx.wake_at(2, 10)
+
+    fired = []
+
+    def step(ctx, node, inbox):
+        fired.append((node, ctx.tick))
+
+    engine = AsyncEngine(net, SynchronousSchedule())
+    engine.run(FunctionProgram("lone-timer", start, step), max_ticks=20)
+    assert fired == [(2, 10)]
+    assert engine.fast_forward_jumps == 1
+    rec = engine.overhead_log[-1]
+    assert rec.pulses == 10
+    assert rec.safe_messages == 10 * m2  # one full 2m wave per pulse
+    # The jumped gap charges exactly the walked idle-frame cost; the
+    # activation frame and quiescence tail are charged identically, so
+    # total virtual time matches the walk to the unit.
+    walked = AsyncEngine(net, SynchronousSchedule(), fast_forward=False)
+    walked.run(FunctionProgram("lone-timer", start, step), max_ticks=20)
+    assert rec.time_units == walked.overhead_log[-1].time_units
+    assert rec.time_units >= 10 * 3  # >= 3 units per idle frame at d=0
+
+
+# ---------------------------------------------------------------------------
+# Schedule validation: broken schedules fail loudly, up front
+# ---------------------------------------------------------------------------
+
+class _NegativeSchedule(Schedule):
+    name = "negative"
+    fifo = False
+
+    def delay(self, src, dst, pulse, kind):
+        return -1
+
+
+class _FloatSchedule(Schedule):
+    name = "float"
+    fifo = False
+
+    def delay(self, src, dst, pulse, kind):
+        return 0.5
+
+
+class _StatefulSchedule(Schedule):
+    """Illegally draws from a stream: same coordinate, changing answer."""
+
+    name = "stateful"
+    fifo = False
+
+    def __init__(self):
+        self._counter = itertools.count()
+
+    def delay(self, src, dst, pulse, kind):
+        return next(self._counter) % 2
+
+
+class _LateNegativeSchedule(Schedule):
+    """Passes the construction probe, turns negative at runtime."""
+
+    name = "late-negative"
+    fifo = False
+
+    def delay(self, src, dst, pulse, kind):
+        return -3 if pulse == 3 else 0
+
+
+@pytest.mark.parametrize(
+    "schedule", [_NegativeSchedule(), _FloatSchedule(), _StatefulSchedule()],
+    ids=lambda s: s.name,
+)
+def test_broken_schedules_rejected_at_engine_construction(schedule):
+    net = grid_2d(3, 3)
+    with pytest.raises(ScheduleValidationError):
+        AsyncEngine(net, schedule)
+
+
+def test_validation_error_names_the_offending_coordinate():
+    net = path_graph(4)
+    with pytest.raises(ScheduleValidationError) as err:
+        validate_schedule(_NegativeSchedule(), net)
+    assert err.value.src is not None and err.value.dst is not None
+    assert "negative" in str(err.value)
+
+
+def test_runtime_guard_catches_late_negative_delays():
+    net = path_graph(6)
+    engine = AsyncEngine(net, _LateNegativeSchedule())  # probe passes
+
+    def start(ctx):
+        for nb in net.neighbors[0]:
+            ctx.send(0, nb, ("tok",))
+
+    seen = set()
+
+    def step(ctx, node, inbox):
+        if node not in seen:
+            seen.add(node)
+            for nb in net.neighbors[node]:
+                ctx.send(node, nb, ("tok",))
+
+    with pytest.raises(ScheduleValidationError):
+        engine.run(FunctionProgram("flood", start, step), max_ticks=50)
+
+
+def test_good_schedules_validate_clean():
+    net = grid_2d(3, 3)
+    for schedule in UNIFORM_SCHEDULES + [RandomDelaySchedule(seed=5, max_delay=4)]:
+        validate_schedule(schedule, net)  # must not raise

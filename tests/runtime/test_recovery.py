@@ -1,0 +1,188 @@
+"""RecoveryDriver: heartbeat detection, self-healing PA/MST, accounting."""
+
+import pytest
+
+from repro.congest import AsyncEngine, CrashEvent, FaultPlan
+from repro.core import SUM, solve_pa
+from repro.algorithms.mst import minimum_spanning_tree
+from repro.analysis.reference import kruskal_mst
+from repro.graphs import random_connected, random_connected_partition, with_distinct_weights
+from repro.runtime import (
+    HeartbeatConfig,
+    RecoveryDriver,
+    RecoveryExhaustedError,
+)
+
+
+def _phase_log(ledger):
+    return [(p.name, p.rounds, p.messages, p.ticks) for p in ledger.phases()]
+
+
+@pytest.fixture
+def workload():
+    net = with_distinct_weights(random_connected(24, 0.12, seed=9), seed=9)
+    part = random_connected_partition(net, 4, seed=9)
+    values = [(v * 7 + 3) % 101 for v in range(net.n)]
+    return net, part, values
+
+
+def test_heartbeat_config_validation():
+    with pytest.raises(ValueError):
+        HeartbeatConfig(window=1)
+    with pytest.raises(ValueError):
+        HeartbeatConfig(window=4, timeout=3)  # timeout + 2 > window
+    cfg = HeartbeatConfig(window=8, interval=2, timeout=3)
+    assert cfg.window == 8
+
+
+# ---------------------------------------------------------------------------
+# The no-fault path is bit-for-bit a plain run
+# ---------------------------------------------------------------------------
+
+def test_no_fault_pa_is_bit_for_bit(workload):
+    net, part, values = workload
+    ref = solve_pa(net, part, values, SUM, seed=5, async_mode=True)
+    driver = RecoveryDriver(net, seed=5)
+    res = driver.solve_pa(part, values, SUM)
+    assert res.aggregates == ref.aggregates
+    assert res.value_at_node == ref.value_at_node
+    assert _phase_log(res.ledger) == _phase_log(ref.ledger)
+    assert driver.stats.attempts == 1
+    assert driver.stats.tainted_attempts == 0
+    assert driver.stats.heartbeat_windows == 0
+    assert driver.recovery_overhead.phases() == ()
+    assert driver.engine.fault_log == []
+
+
+def test_no_fault_mst_is_bit_for_bit(workload):
+    net, _part, _values = workload
+    ref = minimum_spanning_tree(net, seed=7, async_mode=True)
+    driver = RecoveryDriver(net, seed=7)
+    res = driver.minimum_spanning_tree()
+    assert res.output == ref.output
+    assert _phase_log(res.ledger) == _phase_log(ref.ledger)
+    assert driver.stats.attempts == 1
+    assert driver.recovery_overhead.phases() == ()
+
+
+# ---------------------------------------------------------------------------
+# Heartbeat detection
+# ---------------------------------------------------------------------------
+
+def test_heartbeat_suspects_crashed_node_then_clears(workload):
+    net, _part, _values = workload
+    plan = FaultPlan(crashes=(CrashEvent(node=5, at=2, recover_at=30),))
+    driver = RecoveryDriver(net, faults=plan)
+    clean, suspects = driver.run_heartbeat_window()
+    assert not clean
+    assert 5 in suspects
+    # Keep running windows: the global clock walks past recover_at and a
+    # window eventually comes back clean.
+    for _ in range(16):
+        clean, suspects = driver.run_heartbeat_window()
+        if clean:
+            break
+    assert clean and not suspects
+    assert driver.stats.heartbeat_windows >= 2
+    names = [p.name for p in driver.recovery_overhead.phases()]
+    assert names and all(n == "recovery:heartbeat" for n in names)
+
+
+def test_clean_network_heartbeat_is_clean(workload):
+    net, _part, _values = workload
+    driver = RecoveryDriver(net)
+    clean, suspects = driver.run_heartbeat_window()
+    assert clean and not suspects
+
+
+# ---------------------------------------------------------------------------
+# Self-healing PA and MST
+# ---------------------------------------------------------------------------
+
+def test_pa_recovers_from_a_crash_with_identical_output(workload):
+    net, part, values = workload
+    ref = solve_pa(net, part, values, SUM, seed=5, async_mode=True)
+    plan = FaultPlan(crashes=(CrashEvent(node=3, at=5, recover_at=60),))
+    driver = RecoveryDriver(net, faults=plan, seed=5)
+    res = driver.solve_pa(part, values, SUM)
+    assert res.aggregates == ref.aggregates
+    assert res.value_at_node == ref.value_at_node
+    stats = driver.stats
+    assert stats.attempts >= 2 and stats.tainted_attempts >= 1
+    assert stats.reelections >= 1 and stats.heartbeat_windows >= 1
+    # Recovery tax is real and strictly segregated: the main ledger
+    # carries no attempt/heartbeat/re-election phases.
+    recovery_names = [p.name for p in driver.recovery_overhead.phases()]
+    assert any(n == "recovery:heartbeat" for n in recovery_names)
+    assert any(n.startswith("attempt0:") for n in recovery_names)
+    main_names = [p.name for p in res.ledger.phases()]
+    assert not any(
+        n.startswith(("attempt", "recovery:", "reelect", "alg9_pick"))
+        for n in main_names
+    )
+    assert sum(p.rounds for p in driver.recovery_overhead.phases()) > 0
+
+
+def test_mst_recovers_from_two_crashes(workload):
+    net, _part, _values = workload
+    plan = FaultPlan(crashes=(
+        CrashEvent(node=2, at=6, recover_at=70),
+        CrashEvent(node=9, at=12, recover_at=55),
+    ))
+    driver = RecoveryDriver(net, faults=plan, seed=7)
+    res = driver.minimum_spanning_tree()
+    assert res.output == frozenset(kruskal_mst(net))
+    assert driver.stats.tainted_attempts >= 1
+    assert driver.stats.reelections >= 1
+    assert sum(p.messages for p in driver.recovery_overhead.phases()) > 0
+
+
+def test_seeded_plan_recovery_converges(workload):
+    net, part, values = workload
+    ref = solve_pa(net, part, values, SUM, seed=1, async_mode=True)
+    plan = FaultPlan.seeded(1234, net.n, crashes=2, crash_window=(3, 20),
+                            outage=(8, 25))
+    driver = RecoveryDriver(net, faults=plan, seed=1)
+    res = driver.solve_pa(part, values, SUM)
+    assert res.aggregates == ref.aggregates
+    assert res.value_at_node == ref.value_at_node
+
+
+def test_permanent_crash_exhausts_the_driver(workload):
+    net, part, values = workload
+    plan = FaultPlan(crashes=(CrashEvent(node=3, at=2, recover_at=None),))
+    driver = RecoveryDriver(
+        net, faults=plan, max_attempts=2, max_wait_windows=3
+    )
+    with pytest.raises(RecoveryExhaustedError) as err:
+        driver.solve_pa(part, values, SUM)
+    assert err.value.stats.attempts >= 1
+    assert err.value.stats.last_suspects == (3,)
+
+
+def test_genuine_bugs_propagate_when_no_faults_observed(workload):
+    net, part, _values = workload
+    driver = RecoveryDriver(net)
+    with pytest.raises(Exception) as err:
+        driver.solve_pa(part, [1, 2], SUM)  # wrong values length: a bug
+    assert not isinstance(err.value, RecoveryExhaustedError)
+    assert driver.stats.tainted_attempts == 0
+
+
+def test_driver_rejects_bad_limits(workload):
+    net, _part, _values = workload
+    with pytest.raises(ValueError):
+        RecoveryDriver(net, max_attempts=0)
+
+
+def test_engine_is_shared_across_attempts(workload):
+    # The global pulse clock must advance monotonically through tainted
+    # attempts and heartbeat windows — that is what locates the fault
+    # plan's windows in time.
+    net, part, values = workload
+    plan = FaultPlan(crashes=(CrashEvent(node=3, at=5, recover_at=60),))
+    driver = RecoveryDriver(net, faults=plan, seed=5)
+    assert driver.engine.global_pulse == 0
+    driver.solve_pa(part, values, SUM)
+    assert driver.engine.global_pulse > 60  # walked past the outage
+    assert isinstance(driver.engine, AsyncEngine)
