@@ -82,7 +82,16 @@ def test_pa_schedules(benchmark):
             if label.startswith("sync"):
                 assert (res.rounds, res.messages) == (sync.rounds, sync.messages)
                 assert skew == 0
-                data.update(rounds=res.rounds, messages=res.messages)
+                data.update(
+                    rounds=res.rounds, messages=res.messages,
+                    time_units_delay0=time_units,
+                    control_messages_delay0=control,
+                )
+            data["max_skew"] = max(data.get("max_skew", 0), skew)
+            data["fast_forward_jumps"] = (
+                data.get("fast_forward_jumps", 0)
+                + session.solver.engine.fast_forward_jumps
+            )
             rows.append(
                 (label, res.rounds, res.messages, time_units, control, skew)
             )
@@ -96,7 +105,13 @@ def test_pa_schedules(benchmark):
          "max skew"],
         data["rows"],
     )
-    record(benchmark, rounds=data["rounds"], messages=data["messages"])
+    record(
+        benchmark, rounds=data["rounds"], messages=data["messages"],
+        time_units_delay0=data["time_units_delay0"],
+        control_messages_delay0=data["control_messages_delay0"],
+        max_skew=data["max_skew"],
+        fast_forward_jumps=data["fast_forward_jumps"],
+    )
 
 
 def test_mst_schedules(benchmark):
@@ -121,7 +136,16 @@ def test_mst_schedules(benchmark):
             time_units, control, skew = _overhead_totals(session)
             if label.startswith("sync"):
                 assert (res.rounds, res.messages) == (sync.rounds, sync.messages)
-                data.update(rounds=res.rounds, messages=res.messages)
+                data.update(
+                    rounds=res.rounds, messages=res.messages,
+                    time_units_delay0=time_units,
+                    control_messages_delay0=control,
+                )
+            data["max_skew"] = max(data.get("max_skew", 0), skew)
+            data["fast_forward_jumps"] = (
+                data.get("fast_forward_jumps", 0)
+                + session.solver.engine.fast_forward_jumps
+            )
             rows.append(
                 (label, res.rounds, res.messages, time_units, control, skew)
             )
@@ -135,4 +159,10 @@ def test_mst_schedules(benchmark):
          "max skew"],
         data["rows"],
     )
-    record(benchmark, rounds=data["rounds"], messages=data["messages"])
+    record(
+        benchmark, rounds=data["rounds"], messages=data["messages"],
+        time_units_delay0=data["time_units_delay0"],
+        control_messages_delay0=data["control_messages_delay0"],
+        max_skew=data["max_skew"],
+        fast_forward_jumps=data["fast_forward_jumps"],
+    )

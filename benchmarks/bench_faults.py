@@ -72,6 +72,15 @@ def test_pa_crash_recovery(benchmark):
                 assert driver.recovery_overhead.phases() == ()
                 data.update(rounds=res.rounds, messages=res.messages)
             rec_rounds, rec_msgs = _ledger_totals(driver.recovery_overhead)
+            if k == max(CRASH_COUNTS):
+                data.update(
+                    attempts=driver.stats.attempts,
+                    heartbeat_windows=driver.stats.heartbeat_windows,
+                    reelections=driver.stats.reelections,
+                    recovery_rounds=rec_rounds,
+                    recovery_messages=rec_msgs,
+                    fast_forward_jumps=driver.engine.fast_forward_jumps,
+                )
             rows.append((
                 f"k={k}", driver.stats.attempts,
                 driver.stats.heartbeat_windows, driver.stats.reelections,
@@ -87,7 +96,15 @@ def test_pa_crash_recovery(benchmark):
          "main rounds", "main msgs", "recovery rounds", "recovery msgs"],
         data["rows"],
     )
-    record(benchmark, rounds=data["rounds"], messages=data["messages"])
+    record(
+        benchmark, rounds=data["rounds"], messages=data["messages"],
+        attempts=data["attempts"],
+        heartbeat_windows=data["heartbeat_windows"],
+        reelections=data["reelections"],
+        recovery_rounds=data["recovery_rounds"],
+        recovery_messages=data["recovery_messages"],
+        fast_forward_jumps=data["fast_forward_jumps"],
+    )
 
 
 def test_mst_crash_recovery(benchmark):
@@ -110,6 +127,15 @@ def test_mst_crash_recovery(benchmark):
                 assert driver.recovery_overhead.phases() == ()
                 data.update(rounds=res.rounds, messages=res.messages)
             rec_rounds, rec_msgs = _ledger_totals(driver.recovery_overhead)
+            if k == max(CRASH_COUNTS):
+                data.update(
+                    attempts=driver.stats.attempts,
+                    heartbeat_windows=driver.stats.heartbeat_windows,
+                    reelections=driver.stats.reelections,
+                    recovery_rounds=rec_rounds,
+                    recovery_messages=rec_msgs,
+                    fast_forward_jumps=driver.engine.fast_forward_jumps,
+                )
             rows.append((
                 f"k={k}", driver.stats.attempts,
                 driver.stats.heartbeat_windows, driver.stats.reelections,
@@ -125,4 +151,12 @@ def test_mst_crash_recovery(benchmark):
          "main rounds", "main msgs", "recovery rounds", "recovery msgs"],
         data["rows"],
     )
-    record(benchmark, rounds=data["rounds"], messages=data["messages"])
+    record(
+        benchmark, rounds=data["rounds"], messages=data["messages"],
+        attempts=data["attempts"],
+        heartbeat_windows=data["heartbeat_windows"],
+        reelections=data["reelections"],
+        recovery_rounds=data["recovery_rounds"],
+        recovery_messages=data["recovery_messages"],
+        fast_forward_jumps=data["fast_forward_jumps"],
+    )

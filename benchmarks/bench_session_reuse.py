@@ -118,8 +118,11 @@ def test_mst_session_reuse(benchmark):
         speedup=round(wall_off / wall_on, 3),
         rounds_off=off.rounds,
         rounds_on=on.rounds,
+        prepares=stats.prepares,
+        cache_hits=stats.cache_hits,
         coarsenings=stats.coarsenings,
         rebuilds=stats.rebuilds,
+        evictions=stats.evictions,
         rounds=on.rounds,
         messages=on.messages,
     )
@@ -205,7 +208,10 @@ def test_mincut_session_sharing(benchmark):
     record(
         benchmark,
         rounds_off=off.rounds,
+        prepares=sess.stats.prepares,
         cache_hits=sess.stats.cache_hits,
+        coarsenings=sess.stats.coarsenings,
+        evictions=sess.stats.evictions,
         rounds=on.rounds,
         messages=on.messages,
     )

@@ -58,7 +58,7 @@ from contextlib import redirect_stdout
 from dataclasses import dataclass, field
 from datetime import date, datetime, timezone
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .harness import Table, drain_tables
 
@@ -179,8 +179,22 @@ def _coerce_count(value: object) -> Optional[int]:
     return None
 
 
-def run_experiment(path: Path, fn: Callable, quiet: bool = True) -> ExperimentResult:
-    """Run one benchmark function headlessly and collect its results."""
+def run_experiment(
+    path: Path,
+    fn: Callable,
+    quiet: bool = True,
+    trace_dir: Optional[Path] = None,
+) -> ExperimentResult:
+    """Run one benchmark function headlessly and collect its results.
+
+    With ``trace_dir`` set, the experiment runs under a recording
+    :class:`repro.obs.Tracer` and its events are written to
+    ``<trace_dir>/<file-stem>__<fn>.trace.json`` (Chrome trace format —
+    open in Perfetto, or profile with ``python -m repro.obs summarize``).
+    Tracing never changes ledgers (the zero-cost-when-off contract runs
+    the other way too: hooks only *observe*), so traced sweeps stay
+    baseline-comparable.
+    """
     benchmark = HeadlessBenchmark()
     parameters = inspect.signature(fn).parameters
     if "benchmark" not in parameters:
@@ -197,8 +211,20 @@ def run_experiment(path: Path, fn: Callable, quiet: bool = True) -> ExperimentRe
     error = None
     status = "ok"
     sink = io.StringIO()
+    tracer = None
+    if trace_dir is not None:
+        from ..obs import Tracer, use_tracer
+
+        tracer = Tracer()
     try:
-        if quiet:
+        if tracer is not None:
+            with use_tracer(tracer):
+                if quiet:
+                    with redirect_stdout(sink):
+                        fn(benchmark=benchmark)
+                else:
+                    fn(benchmark=benchmark)
+        elif quiet:
             with redirect_stdout(sink):
                 fn(benchmark=benchmark)
         else:
@@ -206,6 +232,9 @@ def run_experiment(path: Path, fn: Callable, quiet: bool = True) -> ExperimentRe
     except Exception:  # noqa: BLE001 - report, don't crash the sweep
         status = "error"
         error = traceback.format_exc()
+    if tracer is not None:
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        tracer.write_chrome(trace_dir / f"{path.stem}__{fn.__name__}.trace.json")
     tables = drain_tables()
     metrics = dict(benchmark.extra_info)
     return ExperimentResult(
@@ -225,6 +254,7 @@ def run_file(
     path: Path,
     quiet: bool = True,
     progress: Optional[Callable[[str], None]] = None,
+    trace_dir: Optional[Path] = None,
 ) -> List[ExperimentResult]:
     """Run every experiment of one bench file, in definition order."""
     try:
@@ -241,14 +271,19 @@ def run_file(
     for fn in bench_functions(module):
         if progress:
             progress(f"{path.name}::{fn.__name__}")
-        results.append(run_experiment(path, fn, quiet=quiet))
+        results.append(run_experiment(path, fn, quiet=quiet, trace_dir=trace_dir))
     return results
 
 
-def _run_file_worker(task: Tuple[str, bool]) -> List[ExperimentResult]:
-    """Process-pool entry point: one (bench file, quiet flag) per task."""
-    path_str, quiet = task
-    return run_file(Path(path_str), quiet=quiet)
+def _run_file_worker(
+    task: Tuple[str, bool, Optional[str]]
+) -> List[ExperimentResult]:
+    """Process-pool entry point: one (file, quiet, trace dir) per task."""
+    path_str, quiet, trace_dir = task
+    return run_file(
+        Path(path_str), quiet=quiet,
+        trace_dir=Path(trace_dir) if trace_dir else None,
+    )
 
 
 def _init_parallel_worker() -> None:
@@ -284,6 +319,7 @@ def run_all(
     quiet: bool = True,
     progress: Optional[Callable[[str], None]] = None,
     jobs: int = 1,
+    trace_dir: Optional[Path] = None,
 ) -> List[ExperimentResult]:
     """Run every discovered benchmark (optionally filtered by substring).
 
@@ -306,9 +342,13 @@ def run_all(
         ) as pool:
             # executor.map preserves submission order: the merged list is
             # deterministic even though workers finish out of order.
+            tasks = [
+                (str(p), quiet, str(trace_dir) if trace_dir else None)
+                for p in paths
+            ]
             for path, file_results in zip(
                 paths,
-                pool.map(_run_file_worker, [(str(p), quiet) for p in paths]),
+                pool.map(_run_file_worker, tasks),
             ):
                 if progress:
                     for r in file_results:
@@ -317,7 +357,9 @@ def run_all(
         return results
     results = []
     for path in paths:
-        results.extend(run_file(path, quiet=quiet, progress=progress))
+        results.extend(
+            run_file(path, quiet=quiet, progress=progress, trace_dir=trace_dir)
+        )
     return results
 
 
@@ -379,6 +421,46 @@ def render_experiments_md(results: Sequence[ExperimentResult]) -> str:
             lines.append("")
             lines.append(table.render_markdown())
             lines.append("")
+    return "\n".join(lines)
+
+
+def render_hot_phase_md(trace_dir: Path, top: int = 12) -> str:
+    """Markdown "hot phases" section aggregated from a sweep's traces.
+
+    Reads every ``*.trace.json`` a ``--trace`` sweep wrote and ranks the
+    main-stream phases by ledger rounds, with messages/bits/wall beside
+    them — the cross-experiment answer to "where do the rounds go?".
+    Returns "" when the directory holds no traces.
+    """
+    from ..obs.summary import load_trace, summarize, top_phases
+
+    paths = sorted(trace_dir.glob("*.trace.json"))
+    events: List[Dict] = []
+    for path in paths:
+        events.extend(load_trace(path))
+    if not events:
+        return ""
+    summary = summarize(events)
+    rows = top_phases(summary, "rounds", top)
+    if not rows:
+        return ""
+    lines = [
+        "## Trace-derived hot phases",
+        "",
+        f"Top {len(rows)} phases by ledger rounds, aggregated over "
+        f"{len(paths)} trace file(s) from this sweep (`--trace`; profile "
+        "individual traces with `python -m repro.obs summarize`).",
+        "",
+        "| phase | charges | rounds | messages | bits | wall (ms) |",
+        "|---|---|---|---|---|---|",
+    ]
+    for name, tot in rows:
+        wall_ms = summary.wall_us.get(name, 0) / 1000
+        lines.append(
+            f"| `{name}` | {tot.count} | {tot.rounds} | {tot.messages} "
+            f"| {tot.bits} | {wall_ms:.3f} |"
+        )
+    lines.append("")
     return "\n".join(lines)
 
 
@@ -477,6 +559,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="compare ledger rounds/messages against a baseline BENCH json "
         "and exit non-zero on any drift (wall times are never gated)",
     )
+    parser.add_argument(
+        "--trace", type=Path, default=None, metavar="DIR",
+        help="record one Chrome/Perfetto trace per experiment into DIR "
+        "(profile with 'python -m repro.obs summarize'); EXPERIMENTS.md "
+        "gains a trace-derived hot-phase table",
+    )
     args = parser.parse_args(argv)
 
     bench_dir = args.bench_dir or default_bench_dir()
@@ -486,12 +574,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     out_path = args.out or Path(f"BENCH_{date.today().strftime('%Y%m%d')}.json")
 
     jobs = resolve_jobs(args.jobs)
+    if args.trace is not None:
+        args.trace.mkdir(parents=True, exist_ok=True)
     results = run_all(
         bench_dir,
         only=args.only,
         quiet=not args.verbose,
         progress=lambda label: print(f"[bench] {label}", flush=True),
         jobs=jobs,
+        trace_dir=args.trace,
     )
     if not results:
         print(
@@ -505,8 +596,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
           f"({report['totals']['ok']}/{report['totals']['experiments']} ok, "
           f"{report['totals']['wall_seconds']:.2f}s measured)")
 
+    if args.trace is not None:
+        traces = sorted(args.trace.glob("*.trace.json"))
+        print(f"[bench] wrote {len(traces)} trace(s) to {args.trace}")
+
     if not args.no_experiments:
-        args.experiments_md.write_text(render_experiments_md(results) + "\n")
+        md = render_experiments_md(results)
+        if args.trace is not None:
+            hot = render_hot_phase_md(args.trace)
+            if hot:
+                md += "\n" + hot
+        args.experiments_md.write_text(md + "\n")
         print(f"[bench] wrote {args.experiments_md}")
 
     if args.check_against is not None:

@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..obs.tracer import current_tracer
 from .errors import (
     BandwidthExceededError,
     ChannelCapacityError,
@@ -222,6 +223,7 @@ class ArrayContext:
         "_dst_parts",
         "_col_parts",
         "_sent",
+        "_bits",
         "_wake_parts",
         "_timers",
     )
@@ -247,6 +249,11 @@ class ArrayContext:
         self._dst_parts: List[np.ndarray] = []
         self._col_parts: List[Dict[str, np.ndarray]] = []
         self._sent = 0
+        # Cumulative payload bits of all emissions this phase; maintained
+        # only under ``strict_bits`` (the audit materializes the per-row
+        # bit column anyway), 0 when untracked — same rule as the scalar
+        # Context.
+        self._bits = 0
         self._wake_parts: List[np.ndarray] = []
         self._timers: Dict[int, List[np.ndarray]] = {}
 
@@ -305,6 +312,7 @@ class ArrayContext:
                 raise BandwidthExceededError(
                     int(src[i]), int(dst[i]), int(bits[i]), self.bit_limit
                 )
+            self._bits += int(bits.sum())
         self._src_parts.append(src)
         self._dst_parts.append(dst)
         self._col_parts.append(
@@ -390,14 +398,31 @@ def run_array_phase(
     idle_ticks = 0
     peak_in_flight = 0
     activations = 0
+    # Observability: one fetch + one ``enabled`` check per phase; with
+    # tracing off ``tracer`` is None and the loop does no per-tick work.
+    _t = current_tracer()
+    tracer = _t if _t.enabled else None
+    bits_mark = 0
 
     program.array_start(actx)
+    start_us = tracer.now_us() if tracer is not None else 0
 
     while actx._sent or actx._wake_parts or timers:
         if not actx._sent and not actx._wake_parts:
             # Only future timers remain: fast-forward the clock, charging
             # the skipped ticks as rounds exactly like the scalar loop.
             next_tick = min(timers)
+            if tracer is not None and next_tick - 1 > ticks:
+                tracer.instant(
+                    "fast_forward",
+                    "engine.ff",
+                    {
+                        "phase": phase_name,
+                        "from_tick": ticks,
+                        "to_tick": next_tick,
+                        "skipped": next_tick - 1 - ticks,
+                    },
+                )
             idle_ticks += next_tick - 1 - ticks
             ticks = next_tick - 1
         if ticks >= max_ticks:
@@ -459,6 +484,18 @@ def run_array_phase(
         else:
             active = touched
         activations += active.size
+        if tracer is not None:
+            delivered_bits = actx._bits - bits_mark
+            bits_mark = actx._bits
+            tracer.counter(
+                phase_name,
+                {
+                    "tick": ticks,
+                    "messages": in_flight,
+                    "bits": delivered_bits,
+                    "activations": int(active.size),
+                },
+            )
 
         program.array_tick(actx, Delivered(src, dst, cols, active))
 
@@ -470,10 +507,25 @@ def run_array_phase(
             activations=activations,
             idle_ticks=idle_ticks,
         )
-    return PhaseStats(
+    stats = PhaseStats(
         name=phase_name,
         rounds=ticks * rounds_per_tick,
         messages=total_messages,
         ticks=ticks,
+        bits=actx._bits,
         profile=prof,
     )
+    if tracer is not None:
+        tracer.complete(
+            phase_name,
+            "engine.phase",
+            start_us,
+            {
+                "impl": "array",
+                "rounds": stats.rounds,
+                "messages": stats.messages,
+                "ticks": stats.ticks,
+                "bits": stats.bits,
+            },
+        )
+    return stats

@@ -70,6 +70,7 @@ from dataclasses import dataclass
 from heapq import heappop, heappush
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..obs.tracer import current_tracer
 from .engine import Context, FastContext, Program
 from .errors import (
     ChannelCapacityError,
@@ -174,7 +175,7 @@ class AsyncEngine:
         #: Synchronizer accounting, separate from every program ledger:
         #: per phase, ``rounds`` = virtual time-units, ``messages`` =
         #: ack + safe control messages.
-        self.overhead = CostLedger()
+        self.overhead = CostLedger(stream="async_overhead")
         #: Per-phase :class:`AsyncPhaseOverhead` records, in run order.
         self.overhead_log: List[AsyncPhaseOverhead] = []
         #: Per-phase :class:`FaultReport` records (only when a non-empty
@@ -208,6 +209,14 @@ class AsyncEngine:
             phase_name, faults=self.faults, pulse_base=self.global_pulse,
             fast_forward=self.fast_forward,
         )
+        # Observability: one fetch + one ``enabled`` check per phase; the
+        # phase sees ``tracer=None`` on the disabled path and emits
+        # nothing (the null path is pinned bit-for-bit by the baseline
+        # gate — trace hooks never touch ledgers or event ordering).
+        _t = current_tracer()
+        tracer = _t if _t.enabled else None
+        run.tracer = tracer
+        start_us = tracer.now_us() if tracer is not None else 0
         try:
             stats, overhead = run.execute(rounds_per_tick, want_profile)
         finally:
@@ -219,6 +228,25 @@ class AsyncEngine:
             self.global_pulse += run.last_interesting
             if self.faults is not None:
                 self.fault_log.append(run.fault_report)
+        if tracer is not None:
+            tracer.complete(
+                phase_name,
+                "engine.phase",
+                start_us,
+                {
+                    "impl": "async",
+                    "rounds": stats.rounds,
+                    "messages": stats.messages,
+                    "ticks": stats.ticks,
+                    "bits": stats.bits,
+                    "time_units": overhead.time_units,
+                    "pulses": overhead.pulses,
+                    "payload_messages": overhead.payload_messages,
+                    "ack_messages": overhead.ack_messages,
+                    "safe_messages": overhead.safe_messages,
+                    "max_skew": overhead.max_skew,
+                },
+            )
         self.overhead.charge(
             PhaseStats(
                 name=phase_name,
@@ -259,6 +287,9 @@ class _AsyncPhase:
         self.fast_forward = fast_forward
         self.fault_report = FaultReport(phase=phase_name, base_pulse=pulse_base)
         self.jumps = 0
+        #: Recording tracer or None (set by AsyncEngine.run; None keeps
+        #: every hook below to a single identity check).
+        self.tracer = None
 
         n = net.n
         self.neighbors = net.neighbors
@@ -355,6 +386,12 @@ class _AsyncPhase:
                 # far side's pulse gate stays shut until the cut heals or
                 # the phase quiesces early (both tainting the run).
                 self.fault_report.dropped_control += 1
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "control_dropped",
+                        "fault",
+                        {"src": u, "dst": nb, "pulse": self.pulse_base + t + 1},
+                    )
                 continue
             self._push(now + 1 + schedule_delay(u, nb, t, SAFE), (_EV_SAFE, nb, t))
         self.safe_msgs += len(self.neighbors[u])
@@ -534,6 +571,12 @@ class _AsyncPhase:
             report = self.fault_report
             if inbox or woken or timer_hit:
                 report.suppressed_activations += 1
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "activation_suppressed",
+                        "fault",
+                        {"node": v, "pulse": self.pulse_base + t},
+                    )
             if woken:
                 report.dropped_wakeups += 1
             if timer_hit:
@@ -609,6 +652,17 @@ class _AsyncPhase:
         self.ready = [(next_timer, v) for v in range(n)]
         self.ready_set = set(range(n))
         self.jumps += 1
+        if self.tracer is not None:
+            self.tracer.instant(
+                "fast_forward",
+                "engine.ff",
+                {
+                    "phase": self.phase_name,
+                    "from_pulse": t,
+                    "to_pulse": next_timer,
+                    "skipped": gap,
+                },
+            )
 
     # -- main loop -------------------------------------------------------
     def execute(
@@ -669,6 +723,12 @@ class _AsyncPhase:
                             # (faults taint runs; they never hang them).
                             self.fault_report.dropped_payloads += 1
                             self.fault_report.delivery_timeouts += 1
+                            if self.tracer is not None:
+                                self.tracer.instant(
+                                    "payload_dropped",
+                                    "fault",
+                                    {"src": src, "dst": dst, "pulse": gp},
+                                )
                             self._push(
                                 now + 1
                                 + self.schedule.delay(dst, src, tpulse - 1, ACK),
@@ -706,11 +766,21 @@ class _AsyncPhase:
                         self._become_safe(u, p, now)
 
         ticks = self.last_interesting
+        if self.tracer is not None:
+            # Per-pulse delivered-payload counters (the async twin of the
+            # sync engines' per-tick series; emitted at phase end since
+            # pulses interleave across nodes during the run).
+            for p in sorted(self.in_flight):
+                self.tracer.counter(
+                    self.phase_name,
+                    {"pulse": p, "messages": self.in_flight[p]},
+                )
         stats = PhaseStats(
             name=self.phase_name,
             rounds=ticks * rounds_per_tick,
             messages=self.payload_msgs,
             ticks=ticks,
+            bits=ctx._bits,
             profile=(
                 EngineProfile(
                     ticks=len(self.live_pulses),

@@ -52,6 +52,7 @@ from .errors import (
     NotAnEdgeError,
     RoundLimitExceededError,
 )
+from ..obs.tracer import current_tracer
 from .ledger import EngineProfile, PhaseStats
 from .message import _ID_CACHE, payload_bits_cached
 from .network import Network
@@ -76,6 +77,7 @@ class Context:
         "_mail",
         "_touched",
         "_sent",
+        "_bits",
         "_wakeups",
         "_timers",
         "_strict_bits",
@@ -101,6 +103,10 @@ class Context:
         )
         self._touched: List[int] = []
         self._sent = 0
+        # Cumulative payload bits of all sends this phase.  Maintained only
+        # under ``strict_bits`` (the audit computes each message's cost
+        # anyway, so tracking the sum is one addition); 0 means untracked.
+        self._bits = 0
         self._wakeups: set = set()
         #: Timer wheel: absolute tick -> set of nodes to activate then.
         self._timers: Dict[int, Set[int]] = {}
@@ -132,6 +138,7 @@ class Context:
                 bits = payload_bits_cached(payload)
             if bits > self._bit_limit:
                 raise BandwidthExceededError(src, dst, bits, self._bit_limit)
+            self._bits += bits
         box = self._mail[dst]
         if not box:
             self._touched.append(dst)
@@ -174,6 +181,7 @@ class Context:
                 if bits > limit:
                     self._sent += count
                     raise BandwidthExceededError(src, dst, bits, limit)
+                self._bits += bits
                 box = mail[dst]
                 if not box:
                     touched.append(dst)
@@ -459,12 +467,37 @@ class Engine:
         ctx = ctx_cls(self.network, self.strict_bits, mail=arena[0])
         reentrant = self._arena_in_use
         self._arena_in_use = True
+        # Observability: one current_tracer() fetch and one ``enabled``
+        # check per *phase*; with tracing off the run loop sees
+        # ``tracer=None`` and does no per-tick or per-event work at all.
+        tracer = current_tracer()
+        active_tracer = tracer if tracer.enabled else None
         try:
             program.on_start(ctx)
-            return self._run_loop(
+            if active_tracer is None:
+                return self._run_loop(
+                    program, ctx, arena[1], max_ticks, capacity,
+                    rounds_per_tick, phase_name, want_profile,
+                )
+            start_us = active_tracer.now_us()
+            stats = self._run_loop(
                 program, ctx, arena[1], max_ticks, capacity,
                 rounds_per_tick, phase_name, want_profile,
+                tracer=active_tracer,
             )
+            active_tracer.complete(
+                phase_name,
+                "engine.phase",
+                start_us,
+                {
+                    "impl": "scalar",
+                    "rounds": stats.rounds,
+                    "messages": stats.messages,
+                    "ticks": stats.ticks,
+                    "bits": stats.bits,
+                },
+            )
+            return stats
         except BaseException:
             if not reentrant:
                 self._arena = None  # may hold undelivered mail; rebuild
@@ -482,8 +515,12 @@ class Engine:
         rounds_per_tick: int,
         phase_name: str,
         want_profile: bool,
+        tracer=None,
     ) -> PhaseStats:
         spare_touched: List[int] = []
+        # Delivered-bits watermark for the per-tick counter series; only
+        # consulted when tracing (``tracer`` is None on the disabled path).
+        bits_mark = 0
 
         timers = ctx._timers
         total_messages = 0
@@ -508,6 +545,17 @@ class Engine:
                 # skipped ticks are still charged as rounds (time passes in
                 # a synchronous network whether or not anyone speaks).
                 next_tick = min(timers)
+                if tracer is not None and next_tick - 1 > ticks:
+                    tracer.instant(
+                        "fast_forward",
+                        "engine.ff",
+                        {
+                            "phase": phase_name,
+                            "from_tick": ticks,
+                            "to_tick": next_tick,
+                            "skipped": next_tick - 1 - ticks,
+                        },
+                    )
                 idle_ticks += next_tick - 1 - ticks
                 ticks = next_tick - 1
             if ticks >= max_ticks:
@@ -551,6 +599,18 @@ class Engine:
                 touched.sort()
                 active = touched
             activations += len(active)
+            if tracer is not None:
+                delivered_bits = ctx._bits - bits_mark
+                bits_mark = ctx._bits
+                tracer.counter(
+                    phase_name,
+                    {
+                        "tick": ticks,
+                        "messages": in_flight,
+                        "bits": delivered_bits,
+                        "activations": len(active),
+                    },
+                )
             for node in active:
                 mail = mailboxes[node]
                 if not mail:
@@ -628,6 +688,7 @@ class Engine:
             rounds=ticks * rounds_per_tick,
             messages=total_messages,
             ticks=ticks,
+            bits=ctx._bits,
             profile=prof,
         )
 

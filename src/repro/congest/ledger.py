@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from ..obs.tracer import current_tracer
+
 
 @dataclass(frozen=True)
 class EngineProfile:
@@ -61,6 +63,12 @@ class PhaseStats:
     per-edge capacity kappa > 1 models kappa CONGEST rounds, as in the
     randomized variant of Section 4.2).
 
+    ``bits`` is the summed payload-bit cost of the phase's messages — a
+    diagnostic, finer than the O(log n)-budget audit: it is tracked
+    whenever the engine runs with ``strict_bits`` (the audit computes the
+    per-message cost anyway) and is 0 when the audit is off (untracked,
+    not free).  It is never part of the rounds/messages gate.
+
     ``profile`` is populated only when the engine ran with profiling
     enabled (see :class:`~repro.congest.engine.Engine`); it never affects
     the cost-model numbers.
@@ -70,6 +78,7 @@ class PhaseStats:
     rounds: int
     messages: int
     ticks: int = 0
+    bits: int = 0
     profile: Optional[EngineProfile] = None
 
     def __add__(self, other: "PhaseStats") -> "PhaseStats":
@@ -81,6 +90,7 @@ class PhaseStats:
             rounds=self.rounds + other.rounds,
             messages=self.messages + other.messages,
             ticks=self.ticks + other.ticks,
+            bits=self.bits + other.bits,
             profile=profile,
         )
 
@@ -91,19 +101,39 @@ class CostLedger:
     The ledger keeps both the running totals and the full phase log so that
     benchmarks can break a cost down by pipeline stage (e.g. "how many
     messages did shortcut construction use vs. the PA waves?").
+
+    ``stream`` labels the accounting stream a ledger belongs to in trace
+    output (``"main"`` for algorithm cost, ``"async_overhead"`` for the
+    synchronizer tax, ``"recovery"`` for the fault-recovery tax).  It has
+    no effect on the totals — it only tags the trace events that
+    :meth:`charge` emits when a tracer is installed.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, stream: str = "main") -> None:
         self._phases: List[PhaseStats] = []
         self.rounds: int = 0
         self.messages: int = 0
+        self.stream = stream
 
-    def charge(self, stats: PhaseStats) -> PhaseStats:
-        """Record one phase and add it to the totals."""
+    def record(self, stats: PhaseStats) -> PhaseStats:
+        """Append one phase and add it to the totals — no trace event.
+
+        Re-attribution paths (:meth:`merge`, recovery-tax splits) use
+        this so every :class:`PhaseStats` is traced exactly once, at the
+        ledger it was *first* charged to: summing a trace's ledger events
+        never double counts.
+        """
         self._phases.append(stats)
         self.rounds += stats.rounds
         self.messages += stats.messages
         return stats
+
+    def charge(self, stats: PhaseStats) -> PhaseStats:
+        """Record one phase and add it to the totals (traced if enabled)."""
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.ledger(self.stream, stats)
+        return self.record(stats)
 
     def charge_local(self, name: str, rounds: int = 0, messages: int = 0) -> PhaseStats:
         """Charge a cost known without running the engine.
@@ -115,15 +145,20 @@ class CostLedger:
         return self.charge(stats)
 
     def merge(self, other: "CostLedger", prefix: str = "") -> None:
-        """Fold another ledger (e.g. of a sub-algorithm) into this one."""
+        """Fold another ledger (e.g. of a sub-algorithm) into this one.
+
+        A re-attribution, not a new cost: the phases were already traced
+        when first charged to ``other``, so this uses :meth:`record`.
+        """
         for stats in other._phases:
             name = f"{prefix}{stats.name}" if prefix else stats.name
-            self.charge(
+            self.record(
                 PhaseStats(
                     name=name,
                     rounds=stats.rounds,
                     messages=stats.messages,
                     ticks=stats.ticks,
+                    bits=stats.bits,
                     profile=stats.profile,
                 )
             )
@@ -143,19 +178,37 @@ class CostLedger:
         return out
 
     def summary(self) -> str:
-        """Human-readable multi-line cost breakdown."""
-        lines = [f"total: rounds={self.rounds} messages={self.messages}"]
-        for name, stats in sorted(self.by_name().items()):
-            lines.append(
-                f"  {name}: rounds={stats.rounds} messages={stats.messages}"
+        """Human-readable per-phase cost breakdown with aligned columns."""
+        by_name = self.by_name()
+        total_bits = sum(s.bits for s in self._phases)
+        lines = [
+            f"total: rounds={self.rounds} messages={self.messages}"
+            + (f" bits={total_bits}" if total_bits else "")
+        ]
+        if not by_name:
+            return lines[0]
+        name_w = max(len(name) for name in by_name)
+        rounds_w = max(len(str(s.rounds)) for s in by_name.values())
+        msgs_w = max(len(str(s.messages)) for s in by_name.values())
+        bits_w = max(len(str(s.bits)) for s in by_name.values())
+        for name, stats in sorted(by_name.items()):
+            line = (
+                f"  {name.ljust(name_w)}  rounds={str(stats.rounds).rjust(rounds_w)}"
+                f"  messages={str(stats.messages).rjust(msgs_w)}"
             )
+            if total_bits:
+                line += f"  bits={str(stats.bits).rjust(bits_w)}"
+            lines.append(line)
         return "\n".join(lines)
 
     def __iter__(self) -> Iterator[PhaseStats]:
         return iter(self._phases)
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"CostLedger(rounds={self.rounds}, messages={self.messages})"
+    def __repr__(self) -> str:
+        return (
+            f"CostLedger(stream={self.stream!r}, phases={len(self._phases)}, "
+            f"rounds={self.rounds}, messages={self.messages})"
+        )
 
 
 @dataclass

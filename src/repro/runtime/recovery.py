@@ -55,6 +55,7 @@ from ..congest.faults import FaultPlan
 from ..congest.ledger import CostLedger, RunResult
 from ..congest.network import Network
 from ..congest.schedule import Schedule
+from ..obs.tracer import current_tracer
 from ..core.aggregation import Aggregation
 from ..core.no_leader import solve_pa_without_leaders
 from ..core.pa import PAResult, PASolver, RANDOMIZED, solve_pa
@@ -201,7 +202,7 @@ class RecoveryDriver:
         )
         #: Detection + re-election + recompute tax, separate from every
         #: workload ledger (mirrors ``AsyncEngine.overhead``).
-        self.recovery_overhead = CostLedger()
+        self.recovery_overhead = CostLedger(stream="recovery")
         self.stats = RecoveryStats()
 
     # -- shared machinery ------------------------------------------------
@@ -222,6 +223,8 @@ class RecoveryDriver:
         waiting.  The window's rounds/messages are charged to
         :attr:`recovery_overhead`.
         """
+        tracer = current_tracer()
+        start_us = tracer.now_us() if tracer.enabled else 0
         program = _HeartbeatProgram(self.net, self.heartbeat)
         mark = len(self.engine.fault_log)
         stats = self.engine.run(
@@ -233,6 +236,18 @@ class RecoveryDriver:
         suspects = program.suspects()
         self.stats.last_suspects = tuple(sorted(suspects))
         clean = not suspects and not self._faults_since(mark)
+        if tracer.enabled:
+            tracer.complete(
+                "recovery.heartbeat_window",
+                "recovery",
+                start_us,
+                {
+                    "clean": clean,
+                    "suspects": len(suspects),
+                    "rounds": stats.rounds,
+                    "messages": stats.messages,
+                },
+            )
         return clean, suspects
 
     def _await_stability(self, detail: str) -> None:
@@ -264,17 +279,21 @@ class RecoveryDriver:
         """Split a successful Algorithm 9 retry's ledger: re-election
         phases (``alg9_*`` except the final setup) to the recovery
         ledger, everything the fault-free path would also pay — tree,
-        final setup, waves — to the returned main ledger."""
+        final setup, waves — to the returned main ledger.
+
+        A pure re-attribution of already-charged phases, so it uses
+        ``record`` throughout: every phase was traced when the retry
+        first charged it, and re-emitting here would double count."""
         main = CostLedger()
         for p in ledger.phases():
             if p.name.startswith("alg9_") and not p.name.startswith(
                 "alg9_final_setup:"
             ):
-                self.recovery_overhead.charge(
+                self.recovery_overhead.record(
                     replace(p, name=f"reelect{attempt}:{p.name}")
                 )
             else:
-                main.charge(p)
+                main.record(p)
         main.merge(solver.tree_ledger, prefix="tree:")
         return main
 
@@ -293,10 +312,12 @@ class RecoveryDriver:
         ledger holding only the fault-free-equivalent cost.
         """
         detail = "no attempts made"
+        tracer = current_tracer()
         for attempt in range(self.max_attempts):
             self.stats.attempts += 1
             fault_mark = len(self.engine.fault_log)
             overhead_mark = len(self.engine.overhead_log)
+            attempt_us = tracer.now_us() if tracer.enabled else 0
             seed = self.seed + attempt
             solver: Optional[PASolver] = None
             try:
@@ -310,6 +331,10 @@ class RecoveryDriver:
                     )
                 else:
                     self.stats.reelections += 1
+                    if tracer.enabled:
+                        tracer.instant(
+                            "reelection", "recovery", {"attempt": attempt}
+                        )
                     result = solve_pa_without_leaders(
                         self.net, partition, values, agg,
                         mode=self.mode, seed=seed, solver=solver,
@@ -319,6 +344,12 @@ class RecoveryDriver:
                     raise  # a real bug, not fault fallout
                 self.stats.tainted_attempts += 1
                 self._charge_aborted(attempt, overhead_mark)
+                if tracer.enabled:
+                    tracer.complete(
+                        "recovery.attempt", "recovery", attempt_us,
+                        {"attempt": attempt, "workload": "pa",
+                         "outcome": "died"},
+                    )
                 detail = f"attempt {attempt} died: {type(exc).__name__}: {exc}"
                 self._await_stability(detail)
                 continue
@@ -335,12 +366,24 @@ class RecoveryDriver:
                     self.recovery_overhead.merge(
                         solver.tree_ledger, prefix=f"attempt{attempt}:tree:"
                     )
+                if tracer.enabled:
+                    tracer.complete(
+                        "recovery.attempt", "recovery", attempt_us,
+                        {"attempt": attempt, "workload": "pa",
+                         "outcome": "tainted"},
+                    )
                 detail = f"attempt {attempt} completed under observed faults"
                 self._await_stability(detail)
                 continue
             if attempt > 0:
                 result.ledger = self._split_reelection(
                     result.ledger, solver, attempt
+                )
+            if tracer.enabled:
+                tracer.complete(
+                    "recovery.attempt", "recovery", attempt_us,
+                    {"attempt": attempt, "workload": "pa",
+                     "outcome": "clean"},
                 )
             return result
         raise RecoveryExhaustedError(self.stats, detail)
@@ -358,10 +401,12 @@ class RecoveryDriver:
         from .session import PASession
 
         detail = "no attempts made"
+        tracer = current_tracer()
         for attempt in range(self.max_attempts):
             self.stats.attempts += 1
             fault_mark = len(self.engine.fault_log)
             overhead_mark = len(self.engine.overhead_log)
+            attempt_us = tracer.now_us() if tracer.enabled else 0
             seed = self.seed + attempt
             try:
                 solver = PASolver(
@@ -381,6 +426,12 @@ class RecoveryDriver:
                 if attempt > 0:
                     self.stats.reelections += 1
                 self._charge_aborted(attempt, overhead_mark)
+                if tracer.enabled:
+                    tracer.complete(
+                        "recovery.attempt", "recovery", attempt_us,
+                        {"attempt": attempt, "workload": "mst",
+                         "outcome": "died"},
+                    )
                 detail = f"attempt {attempt} died: {type(exc).__name__}: {exc}"
                 self._await_stability(detail)
                 continue
@@ -397,10 +448,22 @@ class RecoveryDriver:
                 self.recovery_overhead.merge(
                     solver.tree_ledger, prefix=f"attempt{attempt}:tree:"
                 )
+                if tracer.enabled:
+                    tracer.complete(
+                        "recovery.attempt", "recovery", attempt_us,
+                        {"attempt": attempt, "workload": "mst",
+                         "outcome": "tainted"},
+                    )
                 detail = f"attempt {attempt} completed under observed faults"
                 self._await_stability(detail)
                 continue
             if attempt > 0:
                 self.stats.reelections += 1
+            if tracer.enabled:
+                tracer.complete(
+                    "recovery.attempt", "recovery", attempt_us,
+                    {"attempt": attempt, "workload": "mst",
+                     "outcome": "clean"},
+                )
             return result
         raise RecoveryExhaustedError(self.stats, detail)

@@ -48,6 +48,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..congest.ledger import CostLedger
 from ..congest.network import Network
+from ..obs.tracer import current_tracer
 from ..congest.schedule import Schedule
 from ..core.aggregation import Aggregation
 from ..core.blocks import annotate_blocks
@@ -175,6 +176,7 @@ class PASession:
         async_mode: bool = False,
         solver: Optional[PASolver] = None,
         engine_impl: str = "array",
+        profile: bool = False,
     ) -> None:
         if family is not None:
             if shortcut_provider is not None:
@@ -215,7 +217,7 @@ class PASession:
                 net, mode=mode, seed=seed, root=root,
                 strict_bits=strict_bits, strict_edges=strict_edges,
                 schedule=schedule, async_mode=async_mode,
-                engine_impl=engine_impl,
+                engine_impl=engine_impl, profile=profile,
             )
         self.reuse = reuse
         self.batch = batch
@@ -297,6 +299,28 @@ class PASession:
             self._coarsened_keys.discard(victim)
             self.stats.evictions += 1
 
+    def _traced_build(self, outcome: str, build):
+        """Run ``build`` under a ``session.prepare`` span (traced only).
+
+        ``outcome`` is what the caller expects ("full" or "coarsened");
+        a coarsening that fell out of budget mid-build reports itself as
+        "rebuild" (detected via the stats counter).  The span carries
+        the built setup's ledger totals so a trace shows what each
+        construction cost without walking ledger events.
+        """
+        tracer = current_tracer()
+        if not tracer.enabled:
+            return build()
+        rebuilds_before = self.stats.rebuilds
+        with tracer.span("session.prepare", "session") as args:
+            setup = build()
+            args["outcome"] = (
+                "rebuild" if self.stats.rebuilds > rebuilds_before else outcome
+            )
+            args["rounds"] = setup.setup_ledger.rounds
+            args["messages"] = setup.setup_ledger.messages
+        return setup
+
     # ------------------------------------------------------------------
     def block_budget(self) -> int:
         """Max verified block parameter a coarsened shortcut may keep.
@@ -326,23 +350,32 @@ class PASession:
         """
         if not self.reuse:
             self.stats.prepares += 1
-            return self.solver.prepare(
-                partition, leaders=leaders,
-                congestion_budget=congestion_budget,
-                block_target=block_target, validate=validate,
-                shortcut_provider=self.shortcut_provider,
+            return self._traced_build(
+                "full",
+                lambda: self.solver.prepare(
+                    partition, leaders=leaders,
+                    congestion_budget=congestion_budget,
+                    block_target=block_target, validate=validate,
+                    shortcut_provider=self.shortcut_provider,
+                ),
             )
         key = partition_fingerprint(partition, leaders)
         cached = self._cache_lookup(key)
         if cached is not None:
             self.stats.cache_hits += 1
+            tracer = current_tracer()
+            if tracer.enabled:
+                tracer.instant("session.cache_hit", "session")
             return replace(cached, setup_ledger=CostLedger())
         self.stats.prepares += 1
-        setup = self.solver.prepare(
-            partition, leaders=leaders,
-            congestion_budget=congestion_budget,
-            block_target=block_target, validate=validate,
-            shortcut_provider=self.shortcut_provider,
+        setup = self._traced_build(
+            "full",
+            lambda: self.solver.prepare(
+                partition, leaders=leaders,
+                congestion_budget=congestion_budget,
+                block_target=block_target, validate=validate,
+                shortcut_provider=self.shortcut_provider,
+            ),
         )
         self._cache_store(key, setup)
         return setup
@@ -368,11 +401,17 @@ class PASession:
         cached = self._cache_lookup(key)
         if cached is not None:
             self.stats.cache_hits += 1
+            tracer = current_tracer()
+            if tracer.enabled:
+                tracer.instant("session.cache_hit", "session")
             return replace(cached, setup_ledger=CostLedger())
         pid_map = _coarsening_map(previous.partition, partition)
         if pid_map is None:
             return self.prepare(partition, leaders=leaders)
-        setup = self.coarsen(previous, partition, pid_map, leaders=leaders)
+        setup = self._traced_build(
+            "coarsened",
+            lambda: self.coarsen(previous, partition, pid_map, leaders=leaders),
+        )
         self._coarsened_keys.add(key)
         self._cache_store(key, setup)
         # The previous link of a coarsening chain is superseded: comp

@@ -53,3 +53,108 @@ def test_merge_max_rounds_parallel_composition():
     stats = merge_max_rounds([a, b], "parallel")
     assert stats.rounds == 5
     assert stats.messages == 30
+
+
+def test_merge_max_rounds_empty_list():
+    stats = merge_max_rounds([], "nothing")
+    assert (stats.rounds, stats.messages) == (0, 0)
+    assert stats.name == "nothing"
+
+
+def test_merge_max_rounds_unequal_ledgers():
+    a = CostLedger()
+    a.charge(PhaseStats("p", rounds=5, messages=10))
+    a.charge(PhaseStats("q", rounds=2, messages=4))
+    b = CostLedger()  # never charged
+    c = CostLedger()
+    c.charge(PhaseStats("p", rounds=9, messages=1))
+    stats = merge_max_rounds([a, b, c], "parallel")
+    assert stats.rounds == 9  # max over ledger totals, empty counts as 0
+    assert stats.messages == 15
+
+
+def test_merge_prefix_collision_keeps_both_phase_logs():
+    # ``setup:wave`` charged directly and ``wave`` merged under the same
+    # prefix must stay distinct log entries but aggregate under one name.
+    outer = CostLedger()
+    outer.charge(PhaseStats("setup:wave", rounds=1, messages=2))
+    inner = CostLedger()
+    inner.charge(PhaseStats("wave", rounds=7, messages=70))
+    outer.merge(inner, prefix="setup:")
+    assert [p.name for p in outer.phases()] == ["setup:wave", "setup:wave"]
+    assert outer.rounds == 8
+    assert outer.messages == 72
+    assert outer.by_name()["setup:wave"].rounds == 8
+
+
+def test_merge_twice_double_counts_by_design():
+    # merge() is additive re-attribution; callers own idempotence.
+    inner = CostLedger()
+    inner.charge(PhaseStats("wave", rounds=3, messages=5))
+    outer = CostLedger()
+    outer.merge(inner)
+    outer.merge(inner)
+    assert outer.rounds == 6
+    assert len(outer.phases()) == 2
+
+
+def test_merge_carries_ticks_bits_and_profile():
+    from repro.congest import EngineProfile
+
+    inner = CostLedger()
+    prof = EngineProfile(ticks=4, peak_in_flight=9, activations=12, idle_ticks=1)
+    inner.charge(
+        PhaseStats("wave", rounds=3, messages=5, ticks=4, bits=40, profile=prof)
+    )
+    outer = CostLedger()
+    outer.merge(inner, prefix="sub:")
+    (copied,) = outer.phases()
+    assert (copied.ticks, copied.bits) == (4, 40)
+    assert copied.profile == prof
+
+
+def test_record_skips_trace_emission_but_counts():
+    from repro.obs import Tracer, use_tracer
+
+    ledger = CostLedger()
+    tracer = Tracer()
+    with use_tracer(tracer):
+        ledger.record(PhaseStats("silent", rounds=1, messages=2))
+        ledger.charge(PhaseStats("loud", rounds=3, messages=4))
+    assert (ledger.rounds, ledger.messages) == (4, 6)
+    assert [e["name"] for e in tracer.ledger_events()] == ["loud"]
+
+
+def test_summary_aligns_columns_and_shows_bits():
+    ledger = CostLedger()
+    ledger.charge(PhaseStats("short", rounds=1, messages=2, bits=16))
+    ledger.charge(PhaseStats("a-much-longer-phase", rounds=123, messages=45678, bits=9))
+    lines = ledger.summary().splitlines()
+    assert lines[0] == "total: rounds=124 messages=45680 bits=25"
+    body = lines[1:]
+    # one line per phase, sorted, all columns starting at the same offset
+    assert [ln.split()[0] for ln in body] == ["a-much-longer-phase", "short"]
+    assert len({ln.index("rounds=") for ln in body}) == 1
+    assert len({ln.index("messages=") for ln in body}) == 1
+    assert len({ln.index("bits=") for ln in body}) == 1
+
+
+def test_summary_omits_bits_column_when_untracked():
+    ledger = CostLedger()
+    ledger.charge(PhaseStats("x", rounds=1, messages=2))
+    assert "bits" not in ledger.summary()
+
+
+def test_summary_empty_ledger():
+    assert CostLedger().summary() == "total: rounds=0 messages=0"
+
+
+def test_repr_is_stable_and_informative():
+    ledger = CostLedger()
+    assert repr(ledger) == "CostLedger(stream='main', phases=0, rounds=0, messages=0)"
+    ledger.charge(PhaseStats("x", rounds=1, messages=2))
+    assert repr(ledger) == "CostLedger(stream='main', phases=1, rounds=1, messages=2)"
+    assert (
+        repr(CostLedger(stream="recovery"))
+        == "CostLedger(stream='recovery', phases=0, rounds=0, messages=0)"
+    )

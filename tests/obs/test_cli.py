@@ -1,0 +1,73 @@
+"""``python -m repro.obs``: summarize/diff subcommands and exit codes."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.congest import PhaseStats
+from repro.obs import Tracer
+from repro.obs.__main__ import main
+
+
+def _write_trace(path, rounds=3):
+    tracer = Tracer()
+    tracer.ledger("main", PhaseStats("wave", rounds=rounds, messages=10, bits=80))
+    tracer.ledger("main", PhaseStats("bfs", rounds=7, messages=100))
+    tracer.write_chrome(path)
+    return path
+
+
+def test_summarize_exits_zero_and_prints_totals(tmp_path, capsys):
+    trace = _write_trace(tmp_path / "a.trace.json")
+    assert main(["summarize", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "stream main: rounds=10 messages=110" in out
+    assert "wave" in out and "bfs" in out
+
+
+def test_summarize_top_k_limits_tables(tmp_path, capsys):
+    trace = _write_trace(tmp_path / "a.trace.json")
+    assert main(["summarize", str(trace), "--top", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "top 1 phases by rounds" in out
+
+
+def test_summarize_missing_file_exits_two(tmp_path, capsys):
+    assert main(["summarize", str(tmp_path / "nope.json")]) == 2
+    assert "not found" in capsys.readouterr().err
+
+
+def test_diff_identical_traces_exits_zero(tmp_path, capsys):
+    a = _write_trace(tmp_path / "a.trace.json")
+    b = _write_trace(tmp_path / "b.trace.json")
+    assert main(["diff", str(a), str(b)]) == 0
+    assert "zero drift" in capsys.readouterr().out
+
+
+def test_diff_drift_exits_three_and_names_the_phase(tmp_path, capsys):
+    a = _write_trace(tmp_path / "a.trace.json", rounds=3)
+    b = _write_trace(tmp_path / "b.trace.json", rounds=4)
+    assert main(["diff", str(a), str(b)]) == 3
+    out = capsys.readouterr().out
+    assert "[main] wave: rounds 3 -> 4" in out
+
+
+def test_diff_missing_file_exits_two(tmp_path, capsys):
+    a = _write_trace(tmp_path / "a.trace.json")
+    assert main(["diff", str(a), str(tmp_path / "nope.json")]) == 2
+    assert "not found" in capsys.readouterr().err
+
+
+def test_module_entry_point_runs_as_subprocess(tmp_path):
+    import repro
+
+    trace = _write_trace(tmp_path / "a.trace.json")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(repro.__file__).parents[1])
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.obs", "summarize", str(trace)],
+        capture_output=True, text=True, env=env,
+    )
+    assert proc.returncode == 0
+    assert "stream main" in proc.stdout

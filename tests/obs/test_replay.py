@@ -1,0 +1,127 @@
+"""Replay exactness: a trace reproduces the run's ledger to the unit.
+
+The acceptance property of the tracing layer, scoped to fault-free runs
+(tainted recovery attempts are charged to the ledger that first sees
+them, so a fault-injecting driver's main totals are re-attributions):
+
+* tracing off vs on: the ledger is bit-for-bit identical;
+* tracing on: summing the main-stream "ledger" instants equals the
+  run's total rounds and messages exactly — for every engine, mode and
+  seed, including runs that re-attribute costs via ``merge`` (the
+  trace-once rule: ``charge`` emits, ``record``/``merge`` never do);
+* two identical-seed runs' traces diff to zero drift.
+"""
+
+import pytest
+
+from repro import PASession
+from repro.algorithms import minimum_spanning_tree
+from repro.core import SUM, solve_pa
+from repro.graphs import (
+    bfs_ball_partition,
+    grid_2d,
+    random_connected,
+    random_connected_partition,
+    with_distinct_weights,
+)
+from repro.obs import Tracer, diff_summaries, summarize, use_tracer
+
+ENGINES = [
+    ("scalar", {"engine_impl": "scalar"}),
+    ("array", {"engine_impl": "array"}),
+    ("async", {"async_mode": True}),
+]
+
+
+def _phase_log(ledger):
+    return [
+        (p.name, p.rounds, p.messages, p.ticks, p.bits)
+        for p in ledger.phases()
+    ]
+
+
+def _event_totals(tracer, stream="main"):
+    events = tracer.ledger_events(stream)
+    return (
+        sum(e["args"]["rounds"] for e in events),
+        sum(e["args"]["messages"] for e in events),
+    )
+
+
+@pytest.fixture(scope="module")
+def workload():
+    net = grid_2d(6, 6)
+    partition = bfs_ball_partition(net, target_size=9, seed=3)
+    values = [(v * 5 + 1) % 31 for v in range(net.n)]
+    return net, partition, values
+
+
+@pytest.mark.parametrize("label,kwargs", ENGINES, ids=[e[0] for e in ENGINES])
+@pytest.mark.parametrize("mode", ["randomized", "deterministic"])
+@pytest.mark.parametrize("seed", [0, 7, 123])
+def test_trace_replays_pa_ledger(workload, label, kwargs, mode, seed):
+    net, partition, values = workload
+    off = solve_pa(net, partition, values, SUM, mode=mode, seed=seed, **kwargs)
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        on = solve_pa(net, partition, values, SUM, mode=mode, seed=seed, **kwargs)
+
+    # tracing never perturbs the run
+    assert on.aggregates == off.aggregates
+    assert _phase_log(on.ledger) == _phase_log(off.ledger)
+    # the trace replays the ledger exactly
+    assert _event_totals(tracer) == (on.rounds, on.messages)
+    if label == "async":
+        # the synchronizer tax is on its own stream, never in main
+        tax = _event_totals(tracer, "async_overhead")
+        assert tax[0] > 0 and tax[1] > 0
+
+
+@pytest.mark.parametrize("label,kwargs", ENGINES, ids=[e[0] for e in ENGINES])
+def test_identical_seed_traces_diff_to_zero(workload, label, kwargs):
+    net, partition, values = workload
+    tracers = []
+    for _ in range(2):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            solve_pa(net, partition, values, SUM, seed=7, **kwargs)
+        tracers.append(tracer)
+    drift = diff_summaries(
+        summarize(tracers[0].events), summarize(tracers[1].events)
+    )
+    assert drift == []
+
+
+def test_trace_replays_through_merge_without_double_counting():
+    """merge() re-attributes traced phases; event sums must not double."""
+    net = grid_2d(6, 6)
+    partition = bfs_ball_partition(net, target_size=9, seed=3)
+    values = [(v * 5 + 1) % 31 for v in range(net.n)]
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        session = PASession(net, seed=7)
+        setup = session.prepare(partition)
+        res = session.solve(setup, values, SUM)
+        res.ledger.merge(session.tree_ledger, prefix="tree:")
+    assert _event_totals(tracer) == (res.rounds, res.messages)
+
+
+def test_trace_replays_mst_ledger():
+    """A full pipeline (Boruvka over PA, nested merges) still replays."""
+    net = with_distinct_weights(random_connected(24, 0.12, seed=5), seed=2)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        res = minimum_spanning_tree(net, seed=3)
+    assert _event_totals(tracer) == (res.rounds, res.messages)
+
+
+def test_trace_replays_random_graph_partitions():
+    net = random_connected(30, 0.1, seed=9)
+    partition = random_connected_partition(net, 5, seed=9)
+    values = list(range(net.n))
+    tracer = Tracer()
+    with use_tracer(tracer):
+        res = solve_pa(net, partition, values, SUM, seed=1)
+    assert _event_totals(tracer) == (res.rounds, res.messages)
