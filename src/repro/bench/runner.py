@@ -60,6 +60,7 @@ from datetime import date, datetime, timezone
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..procpool import lift_wall_gate, resolve_workers
 from .harness import Table, drain_tables
 
 
@@ -112,6 +113,10 @@ class ExperimentResult:
     tables: List[Table]
     error: Optional[str] = None
 
+    #: Sharded-backend scaling fields promoted to the record's top level
+    #: (schema repro-bench/2) when the experiment reports them.
+    _SHARD_FIELDS = ("workers", "shard_wall_seconds", "shard_merge_seconds")
+
     def to_json(self) -> Dict[str, object]:
         return {
             "file": self.file,
@@ -120,6 +125,11 @@ class ExperimentResult:
             "wall_seconds": self.wall_seconds,
             "rounds": self.rounds,
             "messages": self.messages,
+            **{
+                key: self.metrics[key]
+                for key in self._SHARD_FIELDS
+                if key in self.metrics
+            },
             "metrics": self.metrics,
             "tables": [
                 {"title": t.title, "headers": list(t.headers),
@@ -287,30 +297,18 @@ def _run_file_worker(
 
 
 def _init_parallel_worker() -> None:
-    """Lift wall-clock assertions inside pool workers.
-
-    Parallel sweeps contend for cores, so wall times measured there are
-    as untrustworthy as CI's — the same rule applies: deterministic
-    ledger assertions always run, wall-ratio gates do not.  An explicit
-    REPRO_SESSION_WALL_GATE from the caller still wins.
-    """
-    os.environ.setdefault("REPRO_SESSION_WALL_GATE", "0")
+    """Pool initializer: lift wall-clock assertions inside workers."""
+    lift_wall_gate()
 
 
 def resolve_jobs(jobs: str) -> int:
     """Turn a ``--jobs`` argument into a worker count.
 
-    ``run_all`` additionally caps the pool at the number of bench files.
+    The shared :func:`repro.procpool.resolve_workers` rules, with bad
+    arguments exiting the CLI instead of raising.  ``run_all``
+    additionally caps the pool at the number of bench files.
     """
-    if jobs == "auto":
-        return os.cpu_count() or 1
-    try:
-        count = int(jobs)
-    except ValueError:
-        raise SystemExit(f"error: --jobs must be an integer or 'auto', got {jobs!r}")
-    if count < 1:
-        raise SystemExit(f"error: --jobs must be >= 1, got {count}")
-    return count
+    return resolve_workers(jobs, error=SystemExit)
 
 
 def run_all(
@@ -369,7 +367,11 @@ def run_all(
 def results_to_json(results: Sequence[ExperimentResult]) -> Dict[str, object]:
     ok = [r for r in results if r.status == "ok"]
     return {
-        "schema": "repro-bench/1",
+        # /2 adds the promoted sharded-scaling fields (workers,
+        # shard_wall_seconds, shard_merge_seconds) on experiment records;
+        # /1 baselines still load — the drift gate reads only
+        # rounds/messages.
+        "schema": "repro-bench/2",
         "generated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "python": sys.version.split()[0],
         "experiments": [r.to_json() for r in results],

@@ -120,9 +120,9 @@ class ColumnArena:
         return self._capacity
 
     def _grow_to(self, needed: int) -> None:
-        new_cap = self._capacity
-        while new_cap < needed:
-            new_cap *= 2
+        # Geometric growth from the needed size: one allocation even when
+        # a single append batch exceeds the capacity many times over.
+        new_cap = max(self._capacity * 2, needed)
         for name, col in self._cols.items():
             grown = np.empty(new_cap, dtype=np.int64)
             grown[: self._live] = col[: self._live]

@@ -20,13 +20,13 @@ the order the scalar handlers emit them; sorting all emission rows by
 enqueue sequence, and the shared :class:`~repro.core.array_queue.EdgePool`
 turns that sequence into the same wire schedule.
 
-The reversal additionally replicates a CPython artifact bit-for-bit: the
-scalar ``ReverseProgram`` iterates a ``set`` built from its three record
-dicts, and that iteration order drives every queue decision downstream.
-The kernel rebuilds the three dicts' key *orders* (cheap: one tuple per
-distinct key, not per message) and runs the same ``set``/``update`` calls
-on same-sized dicts, so CPython produces the identical iteration order —
-tuple-of-int hashes do not depend on ``PYTHONHASHSEED``.
+The reversal iterates its recorded ``(node, part)`` keys in canonical
+sorted order — the same order the scalar ``ReverseProgram`` uses.  Sorted
+order is *restriction-stable*: a conflict-closed subset of parts (a
+shard) sees exactly the relative key order it would inside the full run,
+and the order survives any order-preserving relabeling of nodes and part
+ids, which is what makes the sharded backend's per-shard reversals land
+on the serial wire schedule bit-for-bit.
 """
 
 from __future__ import annotations
@@ -529,12 +529,6 @@ class WaveArrayKernel(ArrayProgram):
     def record(self) -> WaveRecord:
         return _LazyWaveRecord(self)
 
-    def ordered_keys(self, arena: ColumnArena) -> np.ndarray:
-        """Distinct keys of an arena in first-occurrence (dict) order."""
-        keys = arena.column("key")
-        _, idx = np.unique(keys, return_index=True)
-        return keys[np.sort(idx)]
-
     def parent_entries(self) -> Tuple[np.ndarray, np.ndarray]:
         """The wave-parent dict as (keys in insertion order, values).
 
@@ -638,33 +632,22 @@ class ReverseArrayKernel(ArrayProgram):
         else:
             raise ValueError(f"unsupported array aggregation {agg!r}")
 
-        ok = wave.ordered_keys(wave.out_arena)
-        ik = wave.ordered_keys(wave.in_arena)
+        all_out = wave.out_arena.column("key")
+        all_in = wave.in_arena.column("key")
         pkeys, pvals = wave.parent_entries()
 
-        # Replicate the scalar keys-set iteration order exactly: same key
-        # tuples, same insertion order, same (dict-presized) update calls.
-        def as_tuples(arr: np.ndarray) -> List[Tuple[int, int]]:
-            return list(zip((arr // P).tolist(), (arr % P).tolist()))
-
-        out_d = dict.fromkeys(as_tuples(ok))
-        in_d = dict.fromkeys(as_tuples(ik))
-        par_d = dict.fromkeys(as_tuples(pkeys))
-        keys = set(out_d)
-        keys.update(in_d)
-        keys.update(par_d)
-        iter_keys = list(keys)
-        self.num_keys = len(iter_keys)
-        if iter_keys:
-            pairs = np.asarray(iter_keys, dtype=np.int64)
-            self.kv = pairs[:, 0].copy()
-            self.kp = pairs[:, 1].copy()
+        # Canonical iteration order: sorted packed keys v * P + pid, which
+        # is sorted (v, pid) — the order the scalar ReverseProgram iterates
+        # (restriction-stable; see the module docstring).
+        key_parts = [a for a in (all_out, all_in, pkeys) if a.size]
+        if key_parts:
+            key64 = np.unique(np.concatenate(key_parts))
         else:
-            self.kv = _EMPTY
-            self.kp = _EMPTY
-        key64 = self.kv * np.int64(P) + self.kp
-        self._sort = np.argsort(key64)
-        self._sorted_keys = key64[self._sort]
+            key64 = _EMPTY
+        self.num_keys = key64.size
+        self.kv = key64 // P
+        self.kp = key64 % P
+        self._sorted_keys = key64
 
         # parent value per iter key (-1 = None / absent).
         self.par_val = np.full(self.num_keys, -1, dtype=np.int64)
@@ -673,7 +656,6 @@ class ReverseArrayKernel(ArrayProgram):
 
         # expected = number of recorded out-edges per key.
         self.expected = np.zeros(self.num_keys, dtype=np.int64)
-        all_out = wave.out_arena.column("key")
         if all_out.size:
             np.add.at(self.expected, self._kid(all_out), 1)
 
@@ -695,7 +677,7 @@ class ReverseArrayKernel(ArrayProgram):
         self.res_vals: List[Optional[int]] = []
 
     def _kid(self, keys: np.ndarray) -> np.ndarray:
-        return self._sort[np.searchsorted(self._sorted_keys, keys)]
+        return np.searchsorted(self._sorted_keys, keys)
 
     def _fire(self, kids: np.ndarray) -> None:
         pv = self.par_val[kids]

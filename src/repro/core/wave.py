@@ -36,7 +36,11 @@ phases, each a single engine program over *all parts concurrently*:
    node's contribution merged with all received answers, once every
    outgoing wave edge has been answered.  Because wave parents form a
    forest rooted at the leaders, this convergecast is deadlock-free and
-   costs exactly one message per wave message.
+   costs exactly one message per wave message.  The recorded keys are
+   iterated in canonical sorted ``(node, part)`` order — a *restriction-
+   stable* order: any conflict-closed subset of parts sees the same
+   relative key order it would inside the full run, which is what lets
+   the sharded backend replay shard-local reversals bit-for-bit.
 
 3. :class:`ReplayProgram` — the result broadcast: the leader's aggregate
    retraces the recorded wave edges.
@@ -419,9 +423,15 @@ class ReverseProgram(QueuedProgram):
         values = self.values
         expected = self.expected
         acc = self.acc
-        keys = set(out_edges)
-        keys.update(in_edges)
-        keys.update(parent_of)
+        # Canonical iteration order: sorted (node, pid).  Sorting is
+        # restriction-stable (a shard sees the same relative order as the
+        # full run) and relabel-invariant under order-preserving node/part
+        # relabelings — the property the sharded backend's bit-for-bit
+        # parity rests on.
+        key_set = set(out_edges)
+        key_set.update(in_edges)
+        key_set.update(parent_of)
+        keys = sorted(key_set)
         for key in keys:
             v, pid = key
             out = out_edges.get(key)
@@ -526,22 +536,43 @@ class PAWaveResult:
     wave_messages: int
 
 
-def run_pa_waves(
+@dataclass
+class WavePlan:
+    """Globally computed parameters of one PA wave pass.
+
+    Everything a wave pass needs beyond the setup structures, fixed
+    *before* the first tick: capacity/meta-round accounting, the random
+    per-part delays (drawn from the solver rng in pid order, so planning
+    advances the rng exactly as running used to), the round budget
+    (computed from the *global* n/b/c/depth), the leader tokens, and the
+    array-vs-scalar dispatch decision (evaluated on the global values —
+    a restriction of the values could pass the int64-overflow check where
+    the full set does not).  The sharded backend ships one plan to every
+    worker, restricted per shard, so all shards run under the exact
+    parameters the serial pass would have used.
+    """
+
+    capacity: int
+    rounds_per_tick: int
+    delays: Dict[int, int]
+    max_ticks: int
+    leader_tokens: Dict[int, object]
+    use_array: bool
+
+
+def plan_pa_waves(
     engine: Engine,
     net: Network,
     partition: Partition,
     division: SubPartDivision,
     shortcut: Shortcut,
-    annotations: BlockAnnotations,
     values: Sequence[object],
     agg: Aggregation,
-    ledger: CostLedger,
     randomized: bool = False,
     rng: Optional[random.Random] = None,
     max_ticks: Optional[int] = None,
-    phase_prefix: str = "pa",
-) -> PAWaveResult:
-    """Run broadcast + reversal + replay; returns per-part aggregates.
+) -> WavePlan:
+    """Compute the :class:`WavePlan` for one wave pass.
 
     ``randomized`` switches on the Section 4.2 mode: random per-part delays
     uniform in [0, c) and per-edge capacity ceil(2 log2 n), each engine tick
@@ -581,7 +612,73 @@ def run_pa_waves(
 
     from .array_wave import array_wave_supported
 
-    if array_wave_supported(engine, values, agg, leader_tokens):
+    return WavePlan(
+        capacity=capacity,
+        rounds_per_tick=rounds_per_tick,
+        delays=delays,
+        max_ticks=max_ticks,
+        leader_tokens=leader_tokens,
+        use_array=array_wave_supported(engine, values, agg, leader_tokens),
+    )
+
+
+def run_pa_waves(
+    engine: Engine,
+    net: Network,
+    partition: Partition,
+    division: SubPartDivision,
+    shortcut: Shortcut,
+    annotations: BlockAnnotations,
+    values: Sequence[object],
+    agg: Aggregation,
+    ledger: CostLedger,
+    randomized: bool = False,
+    rng: Optional[random.Random] = None,
+    max_ticks: Optional[int] = None,
+    phase_prefix: str = "pa",
+) -> PAWaveResult:
+    """Run broadcast + reversal + replay; returns per-part aggregates.
+
+    Exactly ``plan_pa_waves`` followed by ``run_planned_waves`` — the
+    historical one-call form, bit-for-bit unchanged.
+    """
+    plan = plan_pa_waves(
+        engine, net, partition, division, shortcut, values, agg,
+        randomized=randomized, rng=rng, max_ticks=max_ticks,
+    )
+    return run_planned_waves(
+        engine, net, partition, division, shortcut, annotations,
+        values, agg, ledger, plan, phase_prefix=phase_prefix,
+    )
+
+
+def run_planned_waves(
+    engine: Engine,
+    net: Network,
+    partition: Partition,
+    division: SubPartDivision,
+    shortcut: Shortcut,
+    annotations: BlockAnnotations,
+    values: Sequence[object],
+    agg: Aggregation,
+    ledger: CostLedger,
+    plan: WavePlan,
+    phase_prefix: str = "pa",
+) -> PAWaveResult:
+    """Run broadcast + reversal + replay under a precomputed plan.
+
+    The plan's parameters (including the array-dispatch decision) are
+    honored as given: this is the entry point sharded workers use, with a
+    plan computed once on the orchestrator from the global structures and
+    restricted per shard.
+    """
+    capacity = plan.capacity
+    rounds_per_tick = plan.rounds_per_tick
+    delays = plan.delays
+    max_ticks = plan.max_ticks
+    leader_tokens = plan.leader_tokens
+
+    if plan.use_array:
         return _run_pa_waves_array(
             engine, net, partition, division, shortcut, annotations,
             values, agg, ledger, leader_tokens, delays, capacity,
@@ -628,8 +725,8 @@ def run_pa_waves(
     )
     ledger.charge(stats)
 
-    value_at_node: List[object] = [None] * n
-    for v in range(n):
+    value_at_node: List[object] = [None] * net.n
+    for v in range(net.n):
         value_at_node[v] = replay.delivered.get(v)
 
     return PAWaveResult(

@@ -1,0 +1,55 @@
+"""Shared process-pool sizing for parallel sweeps and the shard backend.
+
+Two subsystems fan work out over worker processes: the bench runner
+(``--jobs``, one bench file per task) and the sharded PA backend
+(``PASession(backend="sharded", workers=...)``, one shard per worker).
+Both size their pools identically — this module is the single
+implementation, so ``"auto"`` means the same thing everywhere and the
+validation rules cannot drift apart.
+
+Wall-clock discipline travels with the pool: work that shares cores
+cannot be held to wall-ratio assertions, so pool initializers call
+:func:`lift_wall_gate` (deterministic ledger assertions always run; an
+explicit ``REPRO_SESSION_WALL_GATE`` from the caller still wins).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Type, Union
+
+WorkerSpec = Union[int, str, None]
+
+
+def resolve_workers(
+    spec: WorkerSpec, *, error: Type[BaseException] = ValueError
+) -> int:
+    """Turn a worker-count spec into a positive worker count.
+
+    ``"auto"`` (or ``None``) resolves to ``os.cpu_count() or 1``; anything
+    else must parse as an integer >= 1.  Invalid specs raise ``error``
+    (``ValueError`` by default; the bench CLI passes ``SystemExit`` so bad
+    ``--jobs`` arguments exit with a message instead of a traceback).
+    """
+    if spec is None or spec == "auto":
+        return os.cpu_count() or 1
+    try:
+        count = int(spec)
+    except (TypeError, ValueError):
+        raise error(
+            f"error: worker count must be an integer or 'auto', got {spec!r}"
+        )
+    if count < 1:
+        raise error(f"error: worker count must be >= 1, got {count}")
+    return count
+
+
+def lift_wall_gate() -> None:
+    """Disable wall-ratio assertions in a pool worker (pool initializer).
+
+    Parallel workers contend for cores, so wall times measured in them are
+    as untrustworthy as CI's — the same rule applies: deterministic ledger
+    assertions always run, wall-ratio gates do not.  An explicit
+    ``REPRO_SESSION_WALL_GATE`` from the caller still wins.
+    """
+    os.environ.setdefault("REPRO_SESSION_WALL_GATE", "0")

@@ -59,10 +59,11 @@ from ..core.pa import (
     PASetup,
     PASolver,
     RANDOMIZED,
+    product_aggregation,
 )
 from ..core.shortcuts import coarsen_shortcut
 from ..core.subparts import SubPartDivision
-from ..core.wave import compute_wave_boundary
+from ..core.wave import compute_wave_boundary, plan_pa_waves
 from ..graphs.partitions import Partition
 
 Fingerprint = Tuple[Tuple[int, ...], Optional[Tuple[int, ...]]]
@@ -79,6 +80,8 @@ class SessionStats:
     solves: int = 0            # single-aggregate solves
     batched_solves: int = 0    # aggregations folded into shared wave passes
     evictions: int = 0         # cache entries dropped by the LRU bound
+    sharded_solves: int = 0    # wave passes run on the multiprocess backend
+    sharded_fallbacks: int = 0  # sharded requests served in-process instead
 
     def as_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
@@ -151,6 +154,19 @@ class PASession:
         selects the delay-0 schedule); see
         :class:`~repro.core.pa.PASolver`.  The synchronizer's separate
         accounting is exposed as :attr:`async_overhead`.
+    backend / workers / shard_min_n:
+        ``backend="sharded"`` runs eligible wave passes on the
+        multiprocess worker pool (:mod:`repro.shard`): the setup is split
+        into conflict components, each shard solves its phases in a forked
+        worker, and the per-shard ledgers merge deterministically —
+        rounds/messages bit-for-bit identical to the in-process engines
+        (gated in CI).  ``workers`` sizes the pool
+        (:func:`repro.procpool.resolve_workers`; ``"auto"`` = cpu count);
+        ``shard_min_n`` keeps networks below the threshold in-process
+        (fork + pickle overhead dominates small instances).  Requests the
+        backend cannot serve — async/pre-scheduled engines, aggregations
+        outside the stock registry, missing ``fork`` — fall back to the
+        in-process solver, counted in ``stats.sharded_fallbacks``.
     solver:
         Adopt an existing solver (its engine, tree and rng state) instead
         of constructing one — how the ``solver=`` arguments of the
@@ -177,7 +193,12 @@ class PASession:
         solver: Optional[PASolver] = None,
         engine_impl: str = "array",
         profile: bool = False,
+        backend: str = "local",
+        workers: object = "auto",
+        shard_min_n: int = 4096,
     ) -> None:
+        if backend not in ("local", "sharded"):
+            raise ValueError(f"unknown backend {backend!r}")
         if family is not None:
             if shortcut_provider is not None:
                 raise ValueError(
@@ -222,6 +243,15 @@ class PASession:
         self.reuse = reuse
         self.batch = batch
         self.max_entries = max_entries
+        self.backend = backend
+        self.shard_min_n = shard_min_n
+        if backend == "sharded":
+            from ..procpool import resolve_workers
+
+            self.workers = resolve_workers(workers)
+        else:
+            self.workers = None
+        self._orchestrator = None
         self.stats = SessionStats()
         # Recency-ordered memo (oldest first); bounded by ``max_entries``.
         self._cache: "OrderedDict[Fingerprint, PASetup]" = OrderedDict()
@@ -269,6 +299,85 @@ class PASession:
         """Drop all memoized setups (e.g. between unrelated workloads)."""
         self._cache.clear()
         self._coarsened_keys.clear()
+
+    def close(self) -> None:
+        """Release backend resources (the sharded worker pool); idempotent."""
+        if self._orchestrator is not None:
+            self._orchestrator.close()
+            self._orchestrator = None
+
+    @property
+    def shard_report(self) -> Optional[Dict[str, object]]:
+        """Scaling diagnostics of the last sharded solve (None otherwise).
+
+        Keys: ``workers``, ``shards``, ``shard_wall_seconds`` (per shard),
+        ``barrier_seconds``, ``merge_seconds``, ``ship_seconds`` — the
+        fields the bench runner promotes into BENCH json records.
+        """
+        if self._orchestrator is None:
+            return None
+        return self._orchestrator.last_report
+
+    # -- sharded backend -----------------------------------------------
+    def _shard_orchestrator(self):
+        if self._orchestrator is None:
+            from ..shard import ShardOrchestrator
+
+            engine = self.solver.engine
+            self._orchestrator = ShardOrchestrator(
+                self.workers,
+                strict_bits=engine.strict_bits,
+                strict_edges=engine.strict_edges,
+                use_arrays=engine.use_arrays,
+                profile=engine.profile,
+            )
+        return self._orchestrator
+
+    def _shard_eligible(self) -> bool:
+        """Whether the sharded backend may serve this session's solves."""
+        import multiprocessing
+
+        return (
+            self.backend == "sharded"
+            and self.solver.schedule is None
+            and self.net.n >= self.shard_min_n
+            and "fork" in multiprocessing.get_all_start_methods()
+        )
+
+    def _solve_sharded(
+        self,
+        setup: PASetup,
+        values: Sequence[object],
+        agg: Aggregation,
+        agg_encoded: object,
+        charge_setup: bool,
+        phase_prefix: str,
+    ) -> PAResult:
+        """Mirror of ``PASolver.solve`` with the wave pass orchestrated.
+
+        The plan is computed rank-0 from the *global* structures —
+        advancing ``solver.rng`` exactly as the in-process path would —
+        and only the three wave phases run on the workers.
+        """
+        solver = self.solver
+        ledger = CostLedger()
+        if charge_setup:
+            ledger.merge(setup.setup_ledger, prefix="setup:")
+        plan = plan_pa_waves(
+            solver.engine, solver.net, setup.partition, setup.division,
+            setup.shortcut, values, agg,
+            randomized=(solver.mode == RANDOMIZED), rng=solver.rng,
+        )
+        outcome = self._shard_orchestrator().solve(
+            setup, plan, values, agg_encoded, ledger,
+            phase_prefix=phase_prefix,
+        )
+        return PAResult(
+            aggregates=outcome.aggregates,
+            value_at_node=outcome.value_at_node,
+            ledger=ledger,
+            setup=setup,
+        )
 
     # -- cache mechanics (LRU bound + loop-entry pinning) ---------------
     def _cache_lookup(self, key: Fingerprint) -> Optional[PASetup]:
@@ -548,7 +657,23 @@ class PASession:
         charge_setup: bool = True,
         phase_prefix: str = "pa",
     ) -> PAResult:
-        """One aggregation over a prepared setup (delegates verbatim)."""
+        """One aggregation over a prepared setup.
+
+        ``backend="local"`` delegates verbatim.  ``backend="sharded"``
+        runs the wave pass on the worker pool when eligible (same plan,
+        same rng advance, rounds/messages bit-for-bit) and falls back
+        in-process otherwise (``stats.sharded_fallbacks``).
+        """
+        if self.backend == "sharded":
+            from ..shard import encode_aggregation
+
+            encoded = encode_aggregation(agg)
+            if encoded is not None and self._shard_eligible():
+                self.stats.sharded_solves += 1
+                return self._solve_sharded(
+                    setup, values, agg, encoded, charge_setup, phase_prefix,
+                )
+            self.stats.sharded_fallbacks += 1
         self.stats.solves += 1
         return self.solver.solve(
             setup, values, agg,
@@ -570,7 +695,18 @@ class PASession:
         the caller would have issued by hand, so ledgers stay bit-for-bit
         identical to the pre-session code.  Merge the returned
         ``.ledger`` exactly once; never the per-result ledgers.
+
+        ``backend="sharded"`` orchestrates the pass(es) on the worker
+        pool when eligible — the batched path ships the aggregation
+        product by component names, the unbatched path routes each item
+        through :meth:`solve` (sharding each in turn).
         """
+        if self.backend == "sharded":
+            result = self._solve_many_sharded(
+                setup, items, charge_setup, phase_prefix, phase_prefixes,
+            )
+            if result is not None:
+                return result
         if self.batch and len(items) > 1:
             self.stats.batched_solves += len(items)
         else:
@@ -579,6 +715,84 @@ class PASession:
             setup, items, charge_setup=charge_setup,
             phase_prefix=phase_prefix, phase_prefixes=phase_prefixes,
             batched=self.batch,
+        )
+
+    def _solve_many_sharded(
+        self,
+        setup: PASetup,
+        items: Sequence[Tuple[Sequence[object], Aggregation]],
+        charge_setup: bool,
+        phase_prefix: str,
+        phase_prefixes: Optional[Sequence[str]],
+    ) -> Optional[PABatchResult]:
+        """Sharded mirror of ``PASolver.solve_many``; None = fall back.
+
+        Argument validation stays with the delegate (it raises the same
+        errors either way), so this only runs on well-formed requests.
+        """
+        if phase_prefixes is not None and len(phase_prefixes) != len(items):
+            return None
+        if not items:
+            return None
+
+        if not self.batch or len(items) == 1:
+            # Sequential items, each routed through solve() (and thus
+            # sharded when eligible) — exact order/prefix/randomness of
+            # the unbatched delegate.
+            ledger = CostLedger()
+            per_agg: List[PAResult] = []
+            for k, (values, agg) in enumerate(items):
+                prefix = (
+                    phase_prefixes[k] if phase_prefixes is not None
+                    else f"{phase_prefix}{k}"
+                )
+                result = self.solve(
+                    setup, values, agg,
+                    charge_setup=charge_setup and k == 0,
+                    phase_prefix=prefix,
+                )
+                ledger.merge(result.ledger)
+                per_agg.append(result)
+            return PABatchResult(
+                per_agg=per_agg, ledger=ledger, setup=setup, batched=False
+            )
+
+        from ..shard import encode_batch
+
+        aggs = [agg for _values, agg in items]
+        encoded = encode_batch(aggs)
+        if encoded is None or not self._shard_eligible():
+            self.stats.sharded_fallbacks += 1
+            return None
+        self.stats.batched_solves += len(items)
+        self.stats.sharded_solves += 1
+        combined_values = list(zip(*(values for values, _agg in items)))
+        combined = self._solve_sharded(
+            setup, combined_values, product_aggregation(aggs), encoded,
+            charge_setup, phase_prefix,
+        )
+        k = len(items)
+        per_agg = []
+        for idx in range(k):
+            aggregates = {
+                pid: (value[idx] if value is not None else None)
+                for pid, value in combined.aggregates.items()
+            }
+            value_at_node = [
+                (value[idx] if value is not None else None)
+                for value in combined.value_at_node
+            ]
+            per_agg.append(
+                PAResult(
+                    aggregates=aggregates,
+                    value_at_node=value_at_node,
+                    ledger=combined.ledger,
+                    setup=setup,
+                )
+            )
+        return PABatchResult(
+            per_agg=per_agg, ledger=combined.ledger, setup=setup,
+            batched=True,
         )
 
 

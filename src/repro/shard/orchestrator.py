@@ -1,0 +1,314 @@
+"""The rank-0 shard orchestrator: ship, solve, barrier, merge.
+
+:class:`ShardOrchestrator` owns a pool of persistent forked workers
+(one pipe each, sized by :func:`repro.procpool.resolve_workers` — the
+same sizing the bench runner uses).  Per setup it computes the shard
+plan once, restricts the setup per shard and ships each payload to its
+worker (``shard.ship`` spans); per solve it restricts the wave plan and
+values, dispatches to all shard workers, waits on the reply barrier
+(``shard.solve`` / ``shard.barrier`` spans) and merges the per-shard
+phase logs deterministically in shard-index order (``shard.merge``
+span; see :mod:`repro.shard.ledger_merge` for the exact rule).
+
+Aggregations cross the pipe *by name*: the stock aggregations are
+registered here, and batch products encode as their component names
+(lambda-closing aggregations cannot pickle).  An aggregation outside
+the registry is the session's cue to fall back in-process.
+
+The orchestrator keeps a :attr:`last_report` (worker count, per-shard
+wall seconds, ship/merge overhead) that benchmarks surface into the
+BENCH json scaling records.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..congest.ledger import CostLedger
+from ..core import aggregation as _aggmod
+from ..core.aggregation import Aggregation
+from ..core.pa import PASetup, product_aggregation
+from ..core.wave import WavePlan
+from ..obs.tracer import current_tracer
+from .ledger_merge import merge_shard_phases
+from .plan import ShardPlan, build_shard_plan
+from .views import build_shard_payload, restrict_plan, restrict_values
+
+#: The picklable-by-name aggregation registry (stock aggregations only;
+#: SUM/OR/AND/XOR close over lambdas and cannot pickle directly).
+_STOCK = ("SUM", "MIN", "MAX", "OR", "AND", "XOR", "MIN_TUPLE", "MAX_TUPLE")
+_BY_IDENTITY = {
+    id(getattr(_aggmod, name)): name for name in _STOCK
+}
+
+
+def encode_aggregation(agg: Aggregation) -> Optional[object]:
+    """Encode a stock (or stock-product) aggregation for the pipe.
+
+    Returns ``("stock", name)`` / ``("product", [names...])``, or
+    ``None`` when the aggregation is not expressible — the caller then
+    falls back to the in-process solver.
+    """
+    name = _BY_IDENTITY.get(id(agg))
+    if name is not None:
+        return ("stock", name)
+    return None
+
+
+def encode_batch(aggs: Sequence[Aggregation]) -> Optional[object]:
+    """Encode a product of stock aggregations (the batched solve path)."""
+    names = []
+    for agg in aggs:
+        name = _BY_IDENTITY.get(id(agg))
+        if name is None:
+            return None
+        names.append(name)
+    return ("product", names)
+
+
+def decode_aggregation(encoded: object) -> Aggregation:
+    """Worker-side inverse of :func:`encode_aggregation`/``encode_batch``."""
+    kind, arg = encoded
+    if kind == "stock":
+        return getattr(_aggmod, arg)
+    if kind == "product":
+        return product_aggregation([getattr(_aggmod, n) for n in arg])
+    raise RuntimeError(f"unknown aggregation encoding {encoded!r}")
+
+
+class ShardSolveOutcome:
+    """What one orchestrated wave pass produced (PAResult ingredients)."""
+
+    __slots__ = ("aggregates", "value_at_node")
+
+    def __init__(self, aggregates, value_at_node) -> None:
+        self.aggregates = aggregates
+        self.value_at_node = value_at_node
+
+
+class _ShardHandle:
+    """Orchestrator-side record of one shipped shard."""
+
+    __slots__ = ("worker_index", "pids", "nodes", "is_member")
+
+    def __init__(self, worker_index, pids, nodes, is_member) -> None:
+        self.worker_index = worker_index
+        self.pids = pids
+        self.nodes = nodes
+        self.is_member = is_member
+
+
+class ShardOrchestrator:
+    """Rank-0 driver of the sharded backend for one engine configuration."""
+
+    def __init__(
+        self,
+        workers: int,
+        strict_bits: bool = True,
+        strict_edges: bool = True,
+        use_arrays: bool = True,
+        profile: bool = False,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._engine_flags = {
+            "strict_bits": strict_bits,
+            "strict_edges": strict_edges,
+            "use_arrays": use_arrays,
+            "profile": profile,
+        }
+        self._procs: List[multiprocessing.Process] = []
+        self._pipes: List = []
+        #: id(setup) -> (setup ref, setup_id, [_ShardHandle, ...]).  The
+        #: strong setup reference keeps the id stable while cached.
+        self._shipped: Dict[int, Tuple[PASetup, str, List[_ShardHandle]]] = {}
+        self._ids = itertools.count()
+        self._closed = False
+        #: Scaling diagnostics of the most recent solve (for BENCH json).
+        self.last_report: Optional[Dict[str, object]] = None
+
+    # ------------------------------------------------------------------
+    def _ensure_workers(self) -> None:
+        if self._procs:
+            return
+        ctx = multiprocessing.get_context("fork")
+        from .worker import worker_main
+
+        for _ in range(self.workers):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(target=worker_main, args=(child,), daemon=True)
+            proc.start()
+            child.close()
+            self._procs.append(proc)
+            self._pipes.append(parent)
+
+    def _recv(self, worker_index: int):
+        reply = self._pipes[worker_index].recv()
+        if reply[0] == "error":
+            raise RuntimeError(
+                f"shard worker {worker_index} failed:\n{reply[1]}"
+            )
+        return reply
+
+    # ------------------------------------------------------------------
+    def ship(self, setup: PASetup) -> List[_ShardHandle]:
+        """Shard ``setup`` and ship each shard to its worker (memoized)."""
+        cached = self._shipped.get(id(setup))
+        if cached is not None and cached[0] is setup:
+            return cached[2]
+        self._ensure_workers()
+        plan = build_shard_plan(setup, self.workers)
+        setup_id = f"setup-{next(self._ids)}"
+        tracer = current_tracer()
+        handles: List[_ShardHandle] = []
+        ship_start = time.perf_counter()
+        for s, pids in enumerate(plan.shard_parts):
+            if tracer.enabled:
+                with tracer.span("shard.ship", "shard") as args:
+                    payload = build_shard_payload(setup, pids)
+                    payload.update(self._engine_flags)
+                    self._pipes[s].send(("load", setup_id, payload))
+                    args["shard"] = s
+                    args["parts"] = len(pids)
+                    args["nodes"] = int(payload["nodes"].size)
+            else:
+                payload = build_shard_payload(setup, pids)
+                payload.update(self._engine_flags)
+                self._pipes[s].send(("load", setup_id, payload))
+            handles.append(
+                _ShardHandle(
+                    worker_index=s,
+                    pids=pids,
+                    nodes=payload["nodes"],
+                    is_member=payload["is_member"],
+                )
+            )
+        for handle in handles:
+            self._recv(handle.worker_index)
+        self._ship_seconds = time.perf_counter() - ship_start
+        self._shipped[id(setup)] = (setup, setup_id, handles)
+        # Retire records whose setup object has been replaced at that id.
+        if len(self._shipped) > 16:
+            self._shipped.pop(next(iter(self._shipped)))
+        return handles
+
+    def solve(
+        self,
+        setup: PASetup,
+        plan: WavePlan,
+        values: Sequence[object],
+        agg_encoded: object,
+        ledger: CostLedger,
+        phase_prefix: str = "pa",
+    ) -> ShardSolveOutcome:
+        """One orchestrated wave pass; charges merged phases to ``ledger``."""
+        handles = self.ship(setup)
+        setup_id = self._shipped[id(setup)][1]
+        tracer = current_tracer()
+        n = len(setup.partition.part_of)
+
+        solve_start = time.perf_counter()
+        for handle in handles:
+            if tracer.enabled:
+                tracer.instant(
+                    "shard.solve", "shard", {"shard": handle.worker_index}
+                )
+            self._pipes[handle.worker_index].send((
+                "solve",
+                setup_id,
+                {
+                    "plan": restrict_plan(plan, handle.pids),
+                    "values": restrict_values(
+                        values, handle.nodes, handle.is_member
+                    ),
+                    "agg": agg_encoded,
+                    "phase_prefix": phase_prefix,
+                },
+            ))
+
+        replies = []
+        if tracer.enabled:
+            with tracer.span("shard.barrier", "shard") as args:
+                for handle in handles:
+                    replies.append(self._recv(handle.worker_index)[1])
+                args["shards"] = len(handles)
+        else:
+            for handle in handles:
+                replies.append(self._recv(handle.worker_index)[1])
+        barrier_seconds = time.perf_counter() - solve_start
+
+        merge_start = time.perf_counter()
+        if tracer.enabled:
+            with tracer.span("shard.merge", "shard") as args:
+                outcome = self._merge(handles, replies, ledger, n)
+                args["shards"] = len(handles)
+        else:
+            outcome = self._merge(handles, replies, ledger, n)
+        merge_seconds = time.perf_counter() - merge_start
+
+        self.last_report = {
+            "workers": self.workers,
+            "shards": len(handles),
+            "shard_wall_seconds": [r["wall_seconds"] for r in replies],
+            "barrier_seconds": barrier_seconds,
+            "merge_seconds": merge_seconds,
+            "ship_seconds": getattr(self, "_ship_seconds", 0.0),
+        }
+        return outcome
+
+    def _merge(
+        self,
+        handles: List[_ShardHandle],
+        replies: List[Dict[str, object]],
+        ledger: CostLedger,
+        n: int,
+    ) -> ShardSolveOutcome:
+        """Merge shard replies in shard-index order (the handles' order)."""
+        for stats in merge_shard_phases([r["phases"] for r in replies]):
+            ledger.charge(stats)
+        aggregates: Dict[int, object] = {}
+        value_at_node: List[object] = [None] * n
+        for handle, reply in zip(handles, replies):
+            for lp, value in reply["aggregates"].items():
+                aggregates[int(handle.pids[lp])] = value
+            members = handle.nodes[handle.is_member]
+            for g, value in zip(members.tolist(), reply["member_values"]):
+                value_at_node[g] = value
+        return ShardSolveOutcome(
+            aggregates=aggregates, value_at_node=value_at_node
+        )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for pipe in self._pipes:
+            try:
+                pipe.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass
+        for pipe in self._pipes:
+            try:
+                pipe.recv()
+            except (EOFError, OSError):
+                pass
+            pipe.close()
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+        self._procs.clear()
+        self._pipes.clear()
+        self._shipped.clear()
+
+    def __del__(self) -> None:  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -1,0 +1,121 @@
+"""The shard worker: a forked process running wave phases on one shard.
+
+Each worker owns one end of a pipe and loops over three requests:
+
+* ``("load", setup_id, payload)`` — rebuild the shard structures
+  (:func:`~repro.shard.views.rebuild_shard`) and construct the engine;
+  cached by ``setup_id`` (small LRU — phase loops retire old setups);
+* ``("solve", setup_id, solve)`` — run the planned wave phases on the
+  cached shard and reply with the phase log, local aggregates, member
+  values and per-phase wall seconds;
+* ``("close",)`` — exit.
+
+Workers are forked, so they inherit the parent's loaded modules and
+never re-import; payloads travel pickled through the pipe (flat int64
+columns plus the annotation dicts).  Any exception is caught and
+shipped back as ``("error", traceback)`` — the orchestrator re-raises
+it rank-0 side instead of hanging on a dead barrier.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from collections import OrderedDict
+from typing import Dict, Tuple
+
+from ..congest.engine import Engine
+from ..congest.ledger import CostLedger
+from ..core.wave import run_planned_waves
+from .ledger_merge import phases_to_wire
+from .views import ShardSetup, rebuild_shard
+
+#: How many rebuilt setups a worker keeps (phase loops use one at a time;
+#: a small window covers interleaved setups without unbounded growth).
+_SETUP_CACHE = 8
+
+
+class _LoadedShard:
+    __slots__ = ("setup", "engine")
+
+    def __init__(self, setup: ShardSetup, engine: Engine) -> None:
+        self.setup = setup
+        self.engine = engine
+
+
+def _load(payload: Dict[str, object]) -> _LoadedShard:
+    setup = rebuild_shard(payload)
+    engine = Engine(
+        setup.net,
+        strict_bits=payload["strict_bits"],
+        strict_edges=payload["strict_edges"],
+        use_arrays=payload["use_arrays"],
+        profile=payload["profile"],
+    )
+    return _LoadedShard(setup, engine)
+
+
+def _solve(shard: _LoadedShard, solve: Dict[str, object]) -> Dict[str, object]:
+    from .orchestrator import decode_aggregation  # fork-safe, no cycle at import
+
+    setup = shard.setup
+    agg = decode_aggregation(solve["agg"])
+    ledger = CostLedger()
+    start = time.perf_counter()
+    outcome = run_planned_waves(
+        shard.engine,
+        setup.net,
+        setup.partition,
+        setup.division,
+        setup.shortcut,
+        setup.annotations,
+        solve["values"],
+        agg,
+        ledger,
+        solve["plan"],
+        phase_prefix=solve["phase_prefix"],
+    )
+    wall = time.perf_counter() - start
+    member_values = [
+        outcome.value_at_node[int(lv)] for lv in setup.member_locals
+    ]
+    return {
+        "phases": phases_to_wire(ledger.phases()),
+        "aggregates": dict(outcome.aggregates),
+        "member_values": member_values,
+        "wall_seconds": wall,
+    }
+
+
+def worker_main(conn) -> None:
+    """Run the worker loop on ``conn`` until ``close`` or EOF."""
+    shards: "OrderedDict[object, _LoadedShard]" = OrderedDict()
+    while True:
+        try:
+            msg = conn.recv()
+        except EOFError:
+            break
+        kind = msg[0]
+        try:
+            if kind == "load":
+                _kind, setup_id, payload = msg
+                shards[setup_id] = _load(payload)
+                shards.move_to_end(setup_id)
+                while len(shards) > _SETUP_CACHE:
+                    shards.popitem(last=False)
+                conn.send(("ok", setup_id))
+            elif kind == "solve":
+                _kind, setup_id, solve = msg
+                shard = shards.get(setup_id)
+                if shard is None:
+                    raise RuntimeError(f"setup {setup_id!r} not loaded")
+                shards.move_to_end(setup_id)
+                conn.send(("result", _solve(shard, solve)))
+            elif kind == "close":
+                conn.send(("ok", "close"))
+                break
+            else:
+                raise RuntimeError(f"unknown request {kind!r}")
+        except Exception:  # noqa: BLE001 - ship to orchestrator, don't hang
+            conn.send(("error", traceback.format_exc()))
+    conn.close()

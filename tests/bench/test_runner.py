@@ -113,7 +113,7 @@ def test_main_writes_json_and_experiments_md(tmp_path):
     ])
     assert code == 0
     report = json.loads(out.read_text())
-    assert report["schema"] == "repro-bench/1"
+    assert report["schema"] == "repro-bench/2"
     assert report["totals"] == {
         "experiments": 1, "ok": 1, "errors": 1 - 1,
         "wall_seconds": report["totals"]["wall_seconds"],
@@ -351,3 +351,41 @@ def test_check_against_respects_only_glob(tmp_path):
     assert check_against_baseline(
         subset, baseline_path, report=lambda s: None, only="bench_t*"
     ) == []
+
+
+SHARDED_BENCH = '''
+from repro.bench import record, run_once
+
+
+def test_sharded(benchmark):
+    run_once(benchmark, lambda: None)
+    record(
+        benchmark, rounds=3, messages=9,
+        workers=4, shard_wall_seconds=[0.1, 0.2],
+        shard_merge_seconds=0.01, other="stays-in-metrics",
+    )
+'''
+
+
+def test_shard_fields_promoted_to_record_top_level(tmp_path):
+    """Schema /2: sharded experiments expose workers / per-shard walls /
+    merge overhead as first-class record fields (still inside metrics
+    too, so /1-style consumers keep working)."""
+    bench_dir = _write_bench_dir(tmp_path, {"bench_shardy.py": SHARDED_BENCH})
+    report = results_to_json(run_all(bench_dir))
+    assert report["schema"] == "repro-bench/2"
+    (experiment,) = report["experiments"]
+    assert experiment["workers"] == 4
+    assert experiment["shard_wall_seconds"] == [0.1, 0.2]
+    assert experiment["shard_merge_seconds"] == 0.01
+    assert "other" not in experiment
+    assert experiment["metrics"]["other"] == "stays-in-metrics"
+    assert experiment["metrics"]["workers"] == 4
+
+
+def test_unsharded_records_gain_no_shard_fields(tmp_path):
+    bench_dir = _write_bench_dir(tmp_path, {"bench_tiny.py": GOOD_BENCH})
+    report = results_to_json(run_all(bench_dir))
+    (experiment,) = report["experiments"]
+    for key in ("workers", "shard_wall_seconds", "shard_merge_seconds"):
+        assert key not in experiment

@@ -1,0 +1,37 @@
+"""ColumnArena growth: one batch may exceed capacity many times over."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.congest.arrays import ColumnArena
+
+
+def test_single_batch_far_beyond_capacity():
+    """Regression: growth must start from the *needed* size, not double
+    blindly — a batch 100x the capacity lands in one allocation."""
+    arena = ColumnArena(("a", "b"), capacity=4)
+    big = np.arange(400, dtype=np.int64)
+    arena.append(a=big, b=big * 2)
+    assert len(arena) == 400
+    assert arena.capacity >= 400
+    assert np.array_equal(arena.column("a"), big)
+    assert np.array_equal(arena.column("b"), big * 2)
+
+
+def test_growth_preserves_earlier_rows():
+    arena = ColumnArena(("x",), capacity=2)
+    arena.append(x=np.array([1, 2], dtype=np.int64))
+    arena.append(x=np.arange(100, dtype=np.int64))
+    got = arena.column("x")
+    assert got[:2].tolist() == [1, 2]
+    assert got[2:].tolist() == list(range(100))
+
+
+def test_small_appends_still_grow_geometrically():
+    arena = ColumnArena(("x",), capacity=4)
+    for k in range(5):
+        arena.append(x=np.array([k], dtype=np.int64))
+    # 5 rows over capacity 4: geometric doubling, not minimal growth.
+    assert arena.capacity == 8
+    assert arena.column("x").tolist() == [0, 1, 2, 3, 4]

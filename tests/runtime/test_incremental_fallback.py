@@ -1,0 +1,94 @@
+"""prepare_incremental must fall back to a full prepare when the new
+partition is not a merge-only coarsening of the previous one."""
+
+from __future__ import annotations
+
+from repro import PASession
+from repro.core import SUM
+from repro.graphs import random_connected, random_connected_partition
+from repro.graphs.partitions import Partition
+
+
+def _session_and_setup():
+    net = random_connected(40, 0.08, seed=11)
+    partition = random_connected_partition(net, 6, seed=5)
+    session = PASession(net, seed=3, reuse=True)
+    setup = session.prepare(partition)
+    return net, session, setup
+
+
+def _coarsen_map_of(partition, merges):
+    """A merge-only coarsening of ``partition`` collapsing pid pairs."""
+    pid_map = list(range(partition.num_parts))
+    for a, b in merges:
+        pid_map[max(a, b)] = min(a, b)
+    # compress labels to 0..k-1
+    labels = sorted(set(pid_map))
+    rank = {old: new for new, old in enumerate(labels)}
+    return Partition([rank[pid_map[p]] for p in partition.part_of])
+
+
+def test_split_part_falls_back_to_full_prepare():
+    net, session, setup = _session_and_setup()
+    # A finer tiling necessarily splits some old part across several new
+    # parts, so it is not a merge-only coarsening.
+    finer = random_connected_partition(net, 9, seed=6)
+    assert finer.num_parts > setup.partition.num_parts
+    prepares_before = session.stats.prepares
+    refined = session.prepare_incremental(setup, finer)
+    # Served by a full prepare (the coarsening map rejected the split).
+    assert session.stats.prepares == prepares_before + 1
+    assert session.stats.coarsenings == 0
+    assert refined.partition is finer
+    # And it actually solves.
+    values = list(range(net.n))
+    result = session.solve(refined, values, SUM)
+    assert set(result.aggregates) == set(range(finer.num_parts))
+
+
+def test_coarsening_is_still_served_incrementally():
+    """Control: a genuine merge-only coarsening avoids the full prepare."""
+    net, session, setup = _session_and_setup()
+    merged = _coarsen_map_of(setup.partition, [(0, 1)])
+    prepares_before = session.stats.prepares
+    coarse = session.prepare_incremental(setup, merged)
+    assert session.stats.coarsenings == 1
+    # A coarsening may still rebuild if re-verification rejects it; either
+    # way it must not be a *silent* full prepare.
+    if session.stats.rebuilds == 0:
+        assert session.stats.prepares == prepares_before
+    assert coarse.partition is merged
+
+
+def test_mismatched_node_sets_fall_back():
+    net, session, setup = _session_and_setup()
+    other_net = random_connected(44, 0.08, seed=12)
+    other_partition = random_connected_partition(other_net, 6, seed=5)
+    # Different node count: the coarsening map must reject outright; the
+    # session serves a fresh full prepare for the new partition's nodes.
+    assert len(other_partition.part_of) != len(setup.partition.part_of)
+    prepares_before = session.stats.prepares
+    session2 = PASession(other_net, seed=3, reuse=True)
+    fresh = session2.prepare_incremental(setup, other_partition)
+    assert session2.stats.prepares == 1
+    assert session2.stats.coarsenings == 0
+    assert fresh.partition is other_partition
+    # The original session's stats are untouched by the other session.
+    assert session.stats.prepares == prepares_before
+
+
+def test_fallback_result_matches_plain_prepare():
+    """The fallback's machinery is the same as a from-scratch prepare."""
+    net, session, setup = _session_and_setup()
+    finer = random_connected_partition(net, 9, seed=6)
+    values = list(range(net.n))
+
+    via_incremental = session.prepare_incremental(setup, finer)
+    got = session.solve(via_incremental, values, SUM)
+
+    control = PASession(net, seed=3)
+    control_setup = control.prepare(finer)
+    want = control.solve(control_setup, values, SUM)
+
+    assert got.aggregates == want.aggregates
+    assert got.value_at_node == want.value_at_node

@@ -1,0 +1,38 @@
+"""Shard lifecycle observability: ship/solve/barrier/merge spans."""
+
+from __future__ import annotations
+
+import random
+
+from repro import PASession
+from repro.core import SUM
+from repro.graphs import random_connected, random_connected_partition
+from repro.obs import Tracer, use_tracer
+
+
+def test_sharded_solve_emits_lifecycle_spans():
+    net = random_connected(48, 0.08, seed=11)
+    partition = random_connected_partition(net, 8, seed=5)
+    values = [random.Random(7).randrange(1000) for _ in range(net.n)]
+
+    tracer = Tracer()
+    session = PASession(
+        net, seed=3, backend="sharded", workers=2, shard_min_n=0
+    )
+    try:
+        setup = session.prepare(partition)
+        with use_tracer(tracer):
+            session.solve(setup, values, SUM)
+    finally:
+        session.close()
+
+    names = [e["name"] for e in tracer.events]
+    shards = session.stats.sharded_solves
+    assert shards == 1
+    assert names.count("shard.ship") >= 1
+    assert names.count("shard.solve") >= 1
+    assert names.count("shard.barrier") == 1
+    assert names.count("shard.merge") == 1
+    ship = next(e for e in tracer.events if e["name"] == "shard.ship")
+    assert ship["args"]["parts"] >= 1
+    assert ship["args"]["nodes"] >= 1

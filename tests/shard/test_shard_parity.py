@@ -1,0 +1,202 @@
+"""The sharded backend's contract: bit-for-bit parity with the serial engine.
+
+Every test compares a ``backend="sharded"`` session against a plain
+in-process session on the same network/partition/seed and asserts the
+*full phase log* — ``(name, rounds, messages)`` entry for entry — plus
+aggregates and per-node values are identical.  ``bits`` are deliberately
+excluded: part-id relabeling shrinks per-message pid widths on a shard
+(documented in docs/architecture.md, "Sharded backend").
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import PASession
+from repro.core import MIN, MIN_TUPLE, SUM
+from repro.graphs import (
+    grid_2d,
+    random_connected,
+    random_connected_partition,
+    with_distinct_weights,
+)
+from repro.algorithms import minimum_spanning_tree
+
+MODES = ["randomized", "deterministic"]
+WORKER_COUNTS = [1, 2, 4]
+
+
+def _phase_sig(ledger):
+    return [(p.name, p.rounds, p.messages) for p in ledger.phases()]
+
+
+def _net_and_partition():
+    net = random_connected(48, 0.08, seed=11)
+    partition = random_connected_partition(net, 8, seed=5)
+    return net, partition
+
+
+def _values(n, seed=7):
+    rng = random.Random(seed)
+    return [rng.randrange(1000) for _ in range(n)]
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_solve_parity(mode, workers):
+    net, partition = _net_and_partition()
+    values = _values(net.n)
+
+    serial = PASession(net, mode=mode, seed=3)
+    expected = serial.solve(serial.prepare(partition), values, SUM)
+
+    session = PASession(
+        net, mode=mode, seed=3,
+        backend="sharded", workers=workers, shard_min_n=0,
+    )
+    try:
+        result = session.solve(session.prepare(partition), values, SUM)
+        assert session.stats.sharded_solves == 1
+        assert session.stats.sharded_fallbacks == 0
+        assert result.aggregates == expected.aggregates
+        assert result.value_at_node == expected.value_at_node
+        assert _phase_sig(result.ledger) == _phase_sig(expected.ledger)
+    finally:
+        session.close()
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_scalar_path_parity(workers):
+    """Tuple values force the scalar wave programs inside the workers."""
+    net, partition = _net_and_partition()
+    values = [(v, i) for i, v in enumerate(_values(net.n, seed=9))]
+
+    serial = PASession(net, seed=3)
+    expected = serial.solve(serial.prepare(partition), values, MIN_TUPLE)
+
+    session = PASession(
+        net, seed=3, backend="sharded", workers=workers, shard_min_n=0,
+    )
+    try:
+        result = session.solve(session.prepare(partition), values, MIN_TUPLE)
+        assert session.stats.sharded_solves == 1
+        assert result.aggregates == expected.aggregates
+        assert result.value_at_node == expected.value_at_node
+        assert _phase_sig(result.ledger) == _phase_sig(expected.ledger)
+    finally:
+        session.close()
+
+
+def test_batched_solve_many_parity():
+    net, partition = _net_and_partition()
+    values = _values(net.n)
+    items = [(values, SUM), (values, MIN)]
+
+    serial = PASession(net, seed=3, batch=True)
+    expected = serial.solve_many(serial.prepare(partition), items)
+
+    session = PASession(
+        net, seed=3, batch=True,
+        backend="sharded", workers=2, shard_min_n=0,
+    )
+    try:
+        result = session.solve_many(session.prepare(partition), items)
+        assert session.stats.sharded_solves == 1
+        assert session.stats.batched_solves == len(items)
+        for got, want in zip(result.per_agg, expected.per_agg):
+            assert got.aggregates == want.aggregates
+            assert got.value_at_node == want.value_at_node
+        assert _phase_sig(result.ledger) == _phase_sig(expected.ledger)
+    finally:
+        session.close()
+
+
+def test_unbatched_solve_many_routes_each_item_sharded():
+    net, partition = _net_and_partition()
+    values = _values(net.n)
+    items = [(values, SUM), (values, MIN)]
+
+    serial = PASession(net, seed=3)
+    expected = serial.solve_many(serial.prepare(partition), items)
+
+    session = PASession(
+        net, seed=3, backend="sharded", workers=2, shard_min_n=0,
+    )
+    try:
+        result = session.solve_many(session.prepare(partition), items)
+        assert session.stats.sharded_solves == 2
+        for got, want in zip(result.per_agg, expected.per_agg):
+            assert got.aggregates == want.aggregates
+        assert _phase_sig(result.ledger) == _phase_sig(expected.ledger)
+    finally:
+        session.close()
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_mst_end_to_end_parity(mode, workers):
+    net = with_distinct_weights(random_connected(40, 0.08, seed=11), seed=3)
+    expected = minimum_spanning_tree(net, mode=mode, seed=5)
+
+    session = PASession(
+        net, mode=mode, seed=5,
+        backend="sharded", workers=workers, shard_min_n=0,
+    )
+    try:
+        result = minimum_spanning_tree(
+            net, mode=mode, seed=5, session=session
+        )
+        assert session.stats.sharded_solves > 0
+        assert sorted(result.output) == sorted(expected.output)
+        assert _phase_sig(result.ledger) == _phase_sig(expected.ledger)
+    finally:
+        session.close()
+
+
+def test_grid_parity():
+    net = grid_2d(8, 8)
+    partition = random_connected_partition(net, 10, seed=9)
+    values = _values(net.n)
+
+    serial = PASession(net, seed=1)
+    expected = serial.solve(serial.prepare(partition), values, MIN)
+
+    session = PASession(
+        net, seed=1, backend="sharded", workers=3, shard_min_n=0,
+    )
+    try:
+        result = session.solve(session.prepare(partition), values, MIN)
+        assert result.aggregates == expected.aggregates
+        assert _phase_sig(result.ledger) == _phase_sig(expected.ledger)
+    finally:
+        session.close()
+
+
+def test_shard_report_populated():
+    net, partition = _net_and_partition()
+    session = PASession(
+        net, seed=3, backend="sharded", workers=2, shard_min_n=0,
+    )
+    try:
+        assert session.shard_report is None
+        session.solve(session.prepare(partition), _values(net.n), SUM)
+        report = session.shard_report
+        assert report is not None
+        assert report["workers"] == 2
+        assert len(report["shard_wall_seconds"]) == report["shards"]
+        assert report["merge_seconds"] >= 0.0
+        assert report["ship_seconds"] >= 0.0
+    finally:
+        session.close()
+
+
+def test_close_is_idempotent():
+    net, partition = _net_and_partition()
+    session = PASession(
+        net, seed=3, backend="sharded", workers=2, shard_min_n=0,
+    )
+    session.solve(session.prepare(partition), _values(net.n), SUM)
+    session.close()
+    session.close()

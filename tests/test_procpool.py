@@ -1,0 +1,48 @@
+"""The shared pool-sizing helper behind --jobs and the shard backend."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.procpool import lift_wall_gate, resolve_workers
+
+
+def test_auto_resolves_to_cpu_count():
+    assert resolve_workers("auto") == (os.cpu_count() or 1)
+    assert resolve_workers(None) == (os.cpu_count() or 1)
+
+
+def test_explicit_counts():
+    assert resolve_workers(1) == 1
+    assert resolve_workers(8) == 8
+    assert resolve_workers("4") == 4
+
+
+@pytest.mark.parametrize("bad", ["lots", "", "3.5", object()])
+def test_unparseable_specs_raise(bad):
+    with pytest.raises(ValueError):
+        resolve_workers(bad)
+
+
+@pytest.mark.parametrize("bad", [0, -1, "-3"])
+def test_non_positive_counts_raise(bad):
+    with pytest.raises(ValueError):
+        resolve_workers(bad)
+
+
+def test_error_class_is_configurable():
+    with pytest.raises(SystemExit):
+        resolve_workers("nope", error=SystemExit)
+    with pytest.raises(SystemExit):
+        resolve_workers(0, error=SystemExit)
+
+
+def test_lift_wall_gate_defaults_but_never_overrides(monkeypatch):
+    monkeypatch.delenv("REPRO_SESSION_WALL_GATE", raising=False)
+    lift_wall_gate()
+    assert os.environ["REPRO_SESSION_WALL_GATE"] == "0"
+    monkeypatch.setenv("REPRO_SESSION_WALL_GATE", "1")
+    lift_wall_gate()
+    assert os.environ["REPRO_SESSION_WALL_GATE"] == "1"
