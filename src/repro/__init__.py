@@ -24,6 +24,11 @@ Public API tour:
   point every algorithm routes through, with opt-in setup caching,
   incremental coarsening across merge phases, and batched
   multi-aggregate solves.
+* ``repro.service`` — PA-as-a-service: :class:`PAService` serves
+  multi-tenant aggregation query streams over evolving graphs
+  (micro-batched waves, incremental partition/edge updates, per-tenant
+  ledger attribution); :class:`SessionPool` bounds session fleets with
+  close-on-eviction lifecycle.
 * ``repro.fuzz`` — the schedule-and-graph differential fuzzer that pins
   sync/async equivalence (``python -m repro.fuzz``).
 """
@@ -52,6 +57,7 @@ from .core import (
 from .families import ShortcutProvider, provider_for
 from .graphs import Partition
 from .runtime import PASession, RecoveryDriver
+from .service import PAService, SessionPool
 
 __version__ = "1.0.0"
 
@@ -66,12 +72,14 @@ __all__ = [
     "MIN_TUPLE",
     "Network",
     "PAResult",
+    "PAService",
     "PASession",
     "PASolver",
     "Partition",
     "PhaseStats",
     "RecoveryDriver",
     "Schedule",
+    "SessionPool",
     "ShortcutProvider",
     "SUM",
     "Shortcut",

@@ -41,6 +41,7 @@ from .shortcuts import (
     coarsen_shortcut,
     empty_shortcut,
     full_tree_shortcut,
+    refine_shortcut,
     shortcut_hint_for_family,
     star_shortcut_for_parts,
     validate_shortcut,
@@ -108,6 +109,7 @@ __all__ = [
     "forest_from_parent_map",
     "full_tree_shortcut",
     "product_aggregation",
+    "refine_shortcut",
     "run_pa_waves",
     "shortcut_hint_for_family",
     "solve_pa",

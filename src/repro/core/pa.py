@@ -195,6 +195,7 @@ class PASolver:
             schedule = SynchronousSchedule()
         self.net = net
         self.mode = mode
+        self.seed = seed
         self.rng = random.Random(seed)
         if engine is not None:
             self.engine = engine
@@ -231,6 +232,54 @@ class PASolver:
         self.diameter: int = max(1, 2 * self.tree_result.depth)
 
     # ------------------------------------------------------------------
+    def rebind(self, net: Network) -> None:
+        """Adopt an updated edge set that preserves the spanning tree.
+
+        The session layer's edge-insert/delete repair
+        (:meth:`repro.runtime.PASession.apply_edge_updates`): when no
+        removed edge is a tree edge, the BFS tree — and with it every
+        tree-restricted shortcut — survives the update verbatim, so the
+        solver only swaps its network and engine.  ``net`` must have the
+        same node count and uid seed (uids are a pure function of both,
+        so the identity of every node is preserved) and must contain
+        every current tree edge; the tree keeps its depth, so the
+        ``2 * depth`` diameter estimate remains a valid upper bound even
+        when deletions lengthen non-tree distances.
+
+        Only synchronous self-owned engines can be rebound: an
+        asynchronous schedule or an adopted engine owns state (virtual
+        clocks, fault plans) that a fresh engine would silently drop.
+        """
+        if self.schedule is not None or isinstance(self.engine, AsyncEngine):
+            raise ValueError(
+                "cannot rebind an asynchronous solver to an updated "
+                "network (the schedule owns per-edge state)"
+            )
+        if net.n != self.net.n:
+            raise ValueError(
+                f"rebind must preserve the node set ({self.net.n} -> {net.n})"
+            )
+        if net.uid != self.net.uid:
+            raise ValueError("rebind must preserve the uid assignment")
+        # RootedForest validates every parent edge against the new net —
+        # a removed tree edge fails loudly here, not mid-wave.
+        tree = RootedForest(net, self.tree.parent)
+        old = self.engine
+        self.net = net
+        self.tree = tree
+        self.tree_result = SpanningTreeResult(
+            tree=tree,
+            root=self.tree_result.root,
+            depth=self.tree_result.depth,
+        )
+        self.engine = Engine(
+            net,
+            strict_bits=old.strict_bits,
+            strict_edges=old.strict_edges,
+            use_arrays=getattr(old, "use_arrays", False),
+            profile=getattr(old, "profile", False),
+        )
+
     def default_leaders(self, partition: Partition) -> Tuple[int, ...]:
         """Minimum-uid member of each part (the Section 4 assumption)."""
         return tuple(

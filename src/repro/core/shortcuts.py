@@ -348,6 +348,43 @@ def coarsen_shortcut(
     return Shortcut(shortcut.tree, new_partition, up)
 
 
+def refine_shortcut(
+    shortcut: Shortcut,
+    new_partition: Partition,
+    new_to_old: Sequence[int],
+) -> Shortcut:
+    """Project a shortcut onto a split-only refinement of its partition.
+
+    ``new_to_old[new_pid] = old_pid`` must describe a refinement (every
+    new part's members lie inside exactly one old part).  Each fragment
+    inherits its ancestor's whole edge set: ``H'_j = H_i`` for every new
+    part ``j`` refining old part ``i``.  Node-locally this is again a
+    relabeling — when a part learns it split, the split broadcast carries
+    the fragment ids, and every node holding ``i`` in an ``up_parts``
+    entry substitutes the fragment id list; no extra communication.
+
+    Unlike coarsening, *both* quality measures can degrade: a tree edge
+    carried by a part that split into ``f`` fragments is now carried by
+    all ``f`` (congestion multiplies by the split factor), and a fragment
+    keeps blocks its members never touch (the block parameter can only
+    shrink per part, but the verified count is what matters).  The
+    runtime session therefore re-verifies the block parameter with PA
+    itself *and* re-checks congestion against the general envelope,
+    falling back to a fresh construction when either exceeds its budget
+    (:meth:`repro.runtime.PASession.refine`).
+    """
+    fragments: List[List[int]] = [[] for _ in range(shortcut.partition.num_parts)]
+    for new_pid, old_pid in enumerate(new_to_old):
+        fragments[old_pid].append(new_pid)
+    up = [
+        frozenset(f for pid in parts for f in fragments[pid])
+        if parts
+        else frozenset()
+        for parts in shortcut.up_parts
+    ]
+    return Shortcut(shortcut.tree, new_partition, up)
+
+
 def validate_shortcut(shortcut: Shortcut) -> None:
     """Check Definition 2.2 invariants; raise on violation.
 

@@ -18,6 +18,7 @@ See docs/architecture.md, "Runtime sessions" and "Fault model".
 """
 
 from .session import (
+    EdgeUpdateReport,
     PASession,
     SessionStats,
     ensure_session,
@@ -31,6 +32,7 @@ from .recovery import (
 )
 
 __all__ = [
+    "EdgeUpdateReport",
     "HeartbeatConfig",
     "PASession",
     "RecoveryDriver",

@@ -28,6 +28,20 @@ three opt-in capabilities on top:
   discarded for a fresh construction, so reuse can cost rounds but never
   correctness.
 
+* **Incremental refinement** (``reuse=True``): the dual direction —
+  when a partition split-only refines a prepared one (a part breaking
+  into fragments, the service layer's regrouping updates),
+  ``prepare_incremental`` cuts the sub-part forest at the new borders,
+  relabels the shortcut (:func:`~repro.core.shortcuts.refine_shortcut`)
+  and re-verifies under the same budget rule, with congestion re-checked
+  too (splits can multiply it).  See :meth:`PASession.refine`.
+
+* **Edge updates** (:meth:`PASession.apply_edge_updates`): insert/delete
+  batches over the (immutable) network are absorbed by a tree-preserving
+  *rebind* whenever no spanning-tree edge was removed — shortcuts are
+  ``T``-restricted, so the whole cached machinery survives verbatim —
+  and by a counted full rebuild otherwise.
+
 * **Batched multi-aggregate solves** (``batch=True``):
   :meth:`solve_many` runs k aggregations over one setup in a single wave
   pass (k-tuple values, componentwise merge) — one broadcast/reversal/
@@ -46,8 +60,9 @@ from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..congest.errors import InvalidPartitionError
 from ..congest.ledger import CostLedger
-from ..congest.network import Network
+from ..congest.network import Network, canonical_edge
 from ..obs.tracer import current_tracer
 from ..congest.schedule import Schedule
 from ..core.aggregation import Aggregation
@@ -61,10 +76,16 @@ from ..core.pa import (
     RANDOMIZED,
     product_aggregation,
 )
-from ..core.shortcuts import coarsen_shortcut
+from ..core.shortcuts import (
+    Shortcut,
+    coarsen_shortcut,
+    refine_shortcut,
+    shortcut_hint_for_family,
+)
 from ..core.subparts import SubPartDivision
+from ..core.trees import ROOT, RootedForest
 from ..core.wave import compute_wave_boundary, plan_pa_waves
-from ..graphs.partitions import Partition
+from ..graphs.partitions import Partition, validate_partition
 
 Fingerprint = Tuple[Tuple[int, ...], Optional[Tuple[int, ...]]]
 
@@ -76,12 +97,17 @@ class SessionStats:
     prepares: int = 0          # full pipeline constructions
     cache_hits: int = 0        # setups served from the fingerprint memo
     coarsenings: int = 0       # setups served by incremental coarsening
-    rebuilds: int = 0          # coarsenings rejected by re-verification
+    refinements: int = 0       # setups served by split-only refinement
+    rebuilds: int = 0          # coarsenings/refinements rejected by re-verify
     solves: int = 0            # single-aggregate solves
     batched_solves: int = 0    # aggregations folded into shared wave passes
     evictions: int = 0         # cache entries dropped by the LRU bound
     sharded_solves: int = 0    # wave passes run on the multiprocess backend
     sharded_fallbacks: int = 0  # sharded requests served in-process instead
+    edge_updates: int = 0      # apply_edge_updates calls absorbed
+    repairs: int = 0           # edge updates served by tree-preserving rebind
+    graph_rebuilds: int = 0    # edge updates that re-elected/rebuilt the tree
+    repair_evictions: int = 0  # cached setups invalidated by edge updates
 
     def as_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
@@ -124,6 +150,57 @@ def _coarsening_map(
     return pid_map
 
 
+def _refinement_map(
+    old: Partition, new: Partition
+) -> Optional[List[int]]:
+    """``new_to_old[new_pid] = old_pid`` if ``new`` split-only refines ``old``.
+
+    The mirror of :func:`_coarsening_map`: valid when every new part's
+    members lie inside exactly one old part (an old part may split into
+    several fragments).  Returns ``None`` otherwise — the caller then
+    falls back to a full prepare.
+    """
+    if len(old.part_of) != len(new.part_of):
+        return None
+    new_to_old: List[int] = [-1] * new.num_parts
+    for node, new_pid in enumerate(new.part_of):
+        old_pid = old.part_of[node]
+        if new_to_old[new_pid] == -1:
+            new_to_old[new_pid] = old_pid
+        elif new_to_old[new_pid] != old_pid:
+            return None
+    return new_to_old
+
+
+def _fragment_counts(
+    new_to_old: Sequence[int], num_old: int
+) -> Dict[int, int]:
+    """How many fragments each old part split into."""
+    counts: Dict[int, int] = {pid: 0 for pid in range(num_old)}
+    for old_pid in new_to_old:
+        counts[old_pid] += 1
+    return counts
+
+
+@dataclass
+class EdgeUpdateReport:
+    """What :meth:`PASession.apply_edge_updates` did with one update batch.
+
+    ``repaired`` distinguishes the tree-preserving rebind (the BFS tree
+    and every cached shortcut survived verbatim) from a full rebuild
+    (tree re-election charged to ``ledger`` under the ``rebuild:``
+    prefix).  ``evicted_setups`` counts cached setups the update
+    invalidated — partitions disconnected by a deletion, sub-part
+    forests that lost a spanning edge, or (on rebuild) everything.
+    """
+
+    added: int
+    removed: int
+    repaired: bool
+    evicted_setups: int
+    ledger: CostLedger
+
+
 class PASession:
     """A long-lived PA acquisition point for one network.
 
@@ -161,7 +238,9 @@ class PASession:
         worker, and the per-shard ledgers merge deterministically —
         rounds/messages bit-for-bit identical to the in-process engines
         (gated in CI).  ``workers`` sizes the pool
-        (:func:`repro.procpool.resolve_workers`; ``"auto"`` = cpu count);
+        (:func:`repro.procpool.resolve_workers`; ``"auto"`` = the cpus
+        the scheduler actually grants this process — the affinity mask
+        under cgroup limits, not the machine's raw core count);
         ``shard_min_n`` keeps networks below the threshold in-process
         (fork + pickle overhead dominates small instances).  Requests the
         backend cannot serve — async/pre-scheduled engines, aggregations
@@ -252,6 +331,8 @@ class PASession:
         else:
             self.workers = None
         self._orchestrator = None
+        self._last_solve_sharded = False
+        self._closed = False
         self.stats = SessionStats()
         # Recency-ordered memo (oldest first); bounded by ``max_entries``.
         self._cache: "OrderedDict[Fingerprint, PASetup]" = OrderedDict()
@@ -297,24 +378,45 @@ class PASession:
 
     def clear_cache(self) -> None:
         """Drop all memoized setups (e.g. between unrelated workloads)."""
+        if self._orchestrator is not None:
+            for setup in self._cache.values():
+                self._orchestrator.release(setup)
         self._cache.clear()
         self._coarsened_keys.clear()
 
     def close(self) -> None:
-        """Release backend resources (the sharded worker pool); idempotent."""
+        """Release backend resources (the sharded worker pool); idempotent.
+
+        Safe to call any number of times, from ``__exit__``, from pool
+        eviction, or after a mid-solve failure; a closed session can keep
+        serving — the orchestrator is lazily rebuilt on the next sharded
+        solve.
+        """
+        self._closed = True
         if self._orchestrator is not None:
             self._orchestrator.close()
             self._orchestrator = None
 
+    def __enter__(self) -> "PASession":
+        self._closed = False
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     @property
     def shard_report(self) -> Optional[Dict[str, object]]:
-        """Scaling diagnostics of the last sharded solve (None otherwise).
+        """Scaling diagnostics of the last solve *iff it ran sharded*.
 
         Keys: ``workers``, ``shards``, ``shard_wall_seconds`` (per shard),
         ``barrier_seconds``, ``merge_seconds``, ``ship_seconds`` — the
         fields the bench runner promotes into BENCH json records.
+
+        ``None`` whenever the most recent solve was served in-process
+        (local backend, or a sharded request that fell back) — a stale
+        report from an earlier sharded solve is never returned.
         """
-        if self._orchestrator is None:
+        if self._orchestrator is None or not self._last_solve_sharded:
             return None
         return self._orchestrator.last_report
 
@@ -368,10 +470,19 @@ class PASession:
             setup.shortcut, values, agg,
             randomized=(solver.mode == RANDOMIZED), rng=solver.rng,
         )
-        outcome = self._shard_orchestrator().solve(
-            setup, plan, values, agg_encoded, ledger,
-            phase_prefix=phase_prefix,
-        )
+        try:
+            outcome = self._shard_orchestrator().solve(
+                setup, plan, values, agg_encoded, ledger,
+                phase_prefix=phase_prefix,
+            )
+        except BaseException:
+            # A worker died or pickling blew up mid-wave: the pool's state
+            # is suspect, so reap it now rather than leaking forked
+            # processes behind the exception (a fresh orchestrator is
+            # lazily rebuilt if the caller retries).
+            self.close()
+            raise
+        self._last_solve_sharded = True
         return PAResult(
             aggregates=outcome.aggregates,
             value_at_node=outcome.value_at_node,
@@ -404,9 +515,14 @@ class PASession:
                 victim = next((k for k in self._cache if k != key), None)
             if victim is None:
                 break
-            self._cache.pop(victim)
+            evicted = self._cache.pop(victim)
             self._coarsened_keys.discard(victim)
             self.stats.evictions += 1
+            if self._orchestrator is not None:
+                # The workers pinned the shipped setup by identity; an
+                # evicted entry would otherwise stay resident in every
+                # worker until 16 further ships aged it out.
+                self._orchestrator.release(evicted)
 
     def _traced_build(self, outcome: str, build):
         """Run ``build`` under a ``session.prepare`` span (traced only).
@@ -495,14 +611,17 @@ class PASession:
         partition: Partition,
         leaders: Optional[Sequence[int]] = None,
     ) -> PASetup:
-        """``prepare`` that may coarsen ``previous`` instead of rebuilding.
+        """``prepare`` that may project ``previous`` instead of rebuilding.
 
         The contract phase loops rely on: with ``reuse`` off (or no usable
         ``previous``) this is exactly :meth:`prepare`; with ``reuse`` on
         and ``partition`` a merge-only coarsening of ``previous``'s, the
         previous machinery is projected and re-verified (see
-        :meth:`coarsen`).  Either way the returned setup is correct for
-        PA over ``partition`` — only its construction cost differs.
+        :meth:`coarsen`); a split-only *refinement* (parts breaking
+        apart — the service layer's regrouping updates) is likewise
+        projected and re-verified (see :meth:`refine`).  Either way the
+        returned setup is correct for PA over ``partition`` — only its
+        construction cost differs.
         """
         if not self.reuse or previous is None:
             return self.prepare(partition, leaders=leaders)
@@ -516,7 +635,23 @@ class PASession:
             return replace(cached, setup_ledger=CostLedger())
         pid_map = _coarsening_map(previous.partition, partition)
         if pid_map is None:
-            return self.prepare(partition, leaders=leaders)
+            new_to_old = _refinement_map(previous.partition, partition)
+            if new_to_old is None:
+                return self.prepare(partition, leaders=leaders)
+            setup = self._traced_build(
+                "refined",
+                lambda: self.refine(
+                    previous, partition, new_to_old, leaders=leaders
+                ),
+            )
+            # Refined entries are unpinned like coarsened ones, but the
+            # previous entry is *not* superseded: unlike a phase loop's
+            # forward-only merges, split partitions can re-merge (a
+            # service tenant re-presenting yesterday's grouping), so the
+            # parent entry stays until the LRU bound says otherwise.
+            self._coarsened_keys.add(key)
+            self._cache_store(key, setup)
+            return setup
         setup = self._traced_build(
             "coarsened",
             lambda: self.coarsen(previous, partition, pid_map, leaders=leaders),
@@ -648,6 +783,355 @@ class PASession:
             setup_ledger=ledger,
         )
 
+    def refine(
+        self,
+        previous: PASetup,
+        partition: Partition,
+        new_to_old: Sequence[int],
+        leaders: Optional[Sequence[int]] = None,
+    ) -> PASetup:
+        """Project ``previous``'s machinery onto a split partition.
+
+        The dual of :meth:`coarsen`, with one structural difference: a
+        split can invalidate sub-part trees (a sub-part straddling the
+        new border is no longer inside one part), so besides relabeling
+        the shortcut (:func:`refine_shortcut`, every fragment inherits
+        its ancestor's edge set) the sub-part forest is *cut* at the new
+        part borders — each severed subtree becomes its own sub-part,
+        rooted where the cut left it.  Wave boundary lists only shrink
+        (an intra-part edge of a fragment was intra-part before), so the
+        repair filters the members of split parts.
+
+        Unlike coarsening, both quality measures can degrade: congestion
+        multiplies by the split factor on shared tree edges, and cut
+        forests make blocks reachable from fewer representatives.  The
+        projection is therefore re-verified with PA itself (Algorithm 2)
+        *and* its congestion re-checked against
+        ``max(previous c, general-graph envelope)``; exceeding either
+        budget discards it for a fresh :meth:`prepare` charged to the
+        same ledger under the ``rebuild:`` prefix.
+        """
+        solver = self.solver
+        net = solver.net
+        if leaders is None:
+            leaders = solver.default_leaders(partition)
+        leaders = tuple(leaders)
+        for pid, leader in enumerate(leaders):
+            if partition.part_of[leader] != pid:
+                raise ValueError(f"leader {leader} is not in part {pid}")
+
+        ledger = CostLedger()
+        shortcut = refine_shortcut(previous.shortcut, partition, new_to_old)
+
+        # Cut the sub-part forest at the new part borders: a parent edge
+        # whose endpoints landed in different fragments is severed, the
+        # orphaned child becoming the representative of its subtree.
+        new_part_of = partition.part_of
+        parent = list(previous.division.forest.parent)
+        cut = 0
+        for v, p in enumerate(parent):
+            if p >= 0 and new_part_of[p] != new_part_of[v]:
+                parent[v] = ROOT
+                cut += 1
+        forest = (
+            RootedForest(net, parent) if cut else previous.division.forest
+        )
+        rep_of: List[int] = [-1] * net.n
+        for v in forest.order:
+            p = forest.parent[v]
+            rep_of[v] = v if p < 0 else rep_of[p]
+        division = SubPartDivision(
+            partition=partition,
+            forest=forest,
+            rep_of=tuple(rep_of),
+            part_leader=leaders,
+        )
+
+        # Incremental wave boundary: no edge *gains* boundary status under
+        # a split (same-fragment neighbors were same-part before, and cut
+        # tree edges now cross parts), so members of split parts just
+        # filter their lists down to same-fragment neighbors.
+        old_boundary = compute_wave_boundary(
+            net, previous.partition, previous.division
+        )
+        split_old_pids = {
+            old_pid
+            for old_pid, count in _fragment_counts(
+                new_to_old, previous.partition.num_parts
+            ).items()
+            if count > 1
+        }
+        boundary: List[Tuple[int, ...]] = list(old_boundary)
+        fparent = forest.parent
+        touched = 0
+        for old_pid in split_old_pids:
+            for v in previous.partition.members[old_pid]:
+                boundary[v] = tuple(
+                    nb
+                    for nb in net.neighbors[v]
+                    if new_part_of[nb] == new_part_of[v]
+                    and fparent[v] != nb
+                    and fparent[nb] != v
+                )
+                touched += 1
+        division._wave_boundary_cache = boundary
+        # One round: members of split parts exchange fragment ids with
+        # neighbors to drop the edges that now cross parts (the split
+        # broadcast told them their own fragment; this is the neighbor
+        # side) — the mirror of the coarsening exchange.
+        ledger.charge_local(
+            "refine_boundary_exchange", rounds=1, messages=2 * touched
+        )
+
+        annotations = annotate_blocks(solver.engine, shortcut, ledger)
+        counts = verify_block_parameters(
+            solver.engine, net, partition, division, shortcut, annotations,
+            ledger, randomized=(solver.mode == RANDOMIZED), rng=solver.rng,
+            phase_prefix="refine_verify",
+        )
+        self.stats.refinements += 1
+        diameter = max(1, 2 * solver.tree_result.depth)
+        congestion_budget = max(
+            previous.shortcut.congestion(),
+            shortcut_hint_for_family("general", net.n, diameter)[1],
+        )
+        if (
+            max(counts, default=0) > self.block_budget()
+            or shortcut.congestion() > congestion_budget
+        ):
+            # Quality fell out of budget (too many blocks, or split
+            # fragments piling onto shared tree edges): rebuild from
+            # scratch, keeping the verification cost on the ledger.
+            self.stats.rebuilds += 1
+            rebuilt = self.solver.prepare(
+                partition, leaders=leaders,
+                shortcut_provider=self.shortcut_provider,
+            )
+            ledger.merge(rebuilt.setup_ledger, prefix="rebuild:")
+            self.stats.prepares += 1
+            return replace(rebuilt, setup_ledger=ledger)
+
+        return PASetup(
+            partition=partition,
+            leaders=leaders,
+            division=division,
+            shortcut=shortcut,
+            annotations=annotations,
+            setup_ledger=ledger,
+        )
+
+    # -- evolving graphs ------------------------------------------------
+    def apply_edge_updates(
+        self,
+        add: Sequence[Tuple[int, int]] = (),
+        remove: Sequence[Tuple[int, int]] = (),
+        weights: Optional[Dict[Tuple[int, int], int]] = None,
+    ) -> EdgeUpdateReport:
+        """Adopt an edge insert/delete batch, repairing instead of rebuilding.
+
+        Networks are immutable, so the update builds a new
+        :class:`Network` with the same node count and uid seed — uids are
+        a pure function of both, so every node keeps its identity.  Two
+        paths:
+
+        * **repair** — when no removed edge is a spanning-tree edge, the
+          BFS tree survives verbatim and with it every tree-restricted
+          shortcut (their edges live in ``E[T]``, by Definition 2.2 the
+          update cannot touch them).  The solver is rebound
+          (:meth:`~repro.core.pa.PASolver.rebind`), and every cached
+          setup whose partition stays connected and whose sub-part
+          forest lost no edge is rebound too, its wave boundary repaired
+          only at the endpoints of changed intra-part edges.  Setups the
+          update invalidated are evicted, never served stale.
+        * **rebuild** — a removed tree edge (or an engine that cannot be
+          rebound, e.g. asynchronous) forces a fresh solver: new leader
+          election + BFS tree with the same mode/seed, charged to the
+          report's ledger under the ``rebuild:`` prefix, and the whole
+          setup cache dropped.
+
+        ``weights`` supplies weights for added edges on a weighted
+        network (required there, rejected on unweighted ones).  Returns
+        an :class:`EdgeUpdateReport`; costs are *not* folded into any
+        setup ledger — the caller owns the update's cost, mirroring how
+        ``prepare`` owns construction costs.
+        """
+        solver = self.solver
+        net = solver.net
+        add_set = {canonical_edge(u, v) for u, v in add}
+        remove_set = {canonical_edge(u, v) for u, v in remove}
+        overlap = add_set & remove_set
+        if overlap:
+            raise ValueError(
+                f"edges both added and removed: {sorted(overlap)[:5]}"
+            )
+        for e in sorted(remove_set):
+            if not net.has_edge(*e):
+                raise ValueError(f"cannot remove non-edge {e}")
+        for e in sorted(add_set):
+            if net.has_edge(*e):
+                raise ValueError(f"cannot add existing edge {e}")
+        if weights is not None and net.weights is None:
+            raise ValueError("weights given for an unweighted network")
+
+        ledger = CostLedger()
+        if not add_set and not remove_set:
+            self.stats.edge_updates += 1
+            return EdgeUpdateReport(0, 0, True, 0, ledger)
+
+        new_edges = [e for e in net.edges if e not in remove_set]
+        new_edges.extend(sorted(add_set))
+        new_weights = None
+        if net.weights is not None:
+            new_weights = {
+                e: w for e, w in net.weights.items() if e not in remove_set
+            }
+            given = (
+                {}
+                if weights is None
+                else {
+                    canonical_edge(u, v): w for (u, v), w in weights.items()
+                }
+            )
+            for e in sorted(add_set):
+                if e not in given:
+                    raise ValueError(
+                        f"added edge {e} needs a weight on a weighted network"
+                    )
+                new_weights[e] = given[e]
+        new_net = Network(
+            new_edges, n=net.n, weights=new_weights, uid_seed=net._uid_seed
+        )
+
+        # One round in which each endpoint of a changed edge learns of the
+        # change (link-layer notification — the CONGEST analogue of a port
+        # coming up or down).
+        changed = sorted(add_set | remove_set)
+        ledger.charge_local(
+            "edge_update_notify", rounds=1, messages=2 * len(changed)
+        )
+
+        tree_edges = {
+            canonical_edge(v, p)
+            for v, p in enumerate(solver.tree.parent)
+            if p >= 0
+        }
+        repaired = False
+        if not (remove_set & tree_edges):
+            try:
+                solver.rebind(new_net)
+                repaired = True
+            except ValueError:
+                repaired = False  # e.g. an async engine owns edge state
+        if repaired:
+            self.stats.repairs += 1
+            evicted = self._repair_cached_setups(
+                new_net, changed, remove_set
+            )
+        else:
+            self.stats.graph_rebuilds += 1
+            engine = solver.engine
+            self.solver = PASolver(
+                new_net, mode=solver.mode, seed=solver.seed,
+                strict_bits=engine.strict_bits,
+                strict_edges=engine.strict_edges,
+                schedule=solver.schedule,
+                engine_impl=solver.engine_impl,
+                profile=getattr(engine, "profile", False),
+            )
+            ledger.merge(self.solver.tree_ledger, prefix="rebuild:")
+            evicted = len(self._cache)
+            self.clear_cache()
+        self.stats.repair_evictions += evicted
+        self.stats.edge_updates += 1
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "session.edge_update", "session",
+                {
+                    "added": len(add_set), "removed": len(remove_set),
+                    "repaired": repaired, "evicted": evicted,
+                },
+            )
+        return EdgeUpdateReport(
+            added=len(add_set),
+            removed=len(remove_set),
+            repaired=repaired,
+            evicted_setups=evicted,
+            ledger=ledger,
+        )
+
+    def _repair_cached_setups(
+        self,
+        new_net: Network,
+        changed: Sequence[Tuple[int, int]],
+        removed: set,
+    ) -> int:
+        """Rebind surviving cached setups to the updated network.
+
+        A cached setup survives when its partition still induces
+        connected parts and its sub-part forest lost no spanning edge;
+        its structures are then rebuilt *structure-identically* on the
+        new network (same parent arrays, same ``up_parts``, same block
+        annotations) and its wave boundary repaired only at the touched
+        endpoints.  Everything else is evicted; returns the eviction
+        count.
+        """
+        evicted = 0
+        for key in list(self._cache):
+            setup = self._cache[key]
+            if self._orchestrator is not None:
+                # The old setup object is dead either way (survivors are
+                # replaced by rebound copies); drop the workers' pins.
+                self._orchestrator.release(setup)
+            forest_parent = setup.division.forest.parent
+            ok = not any(
+                p >= 0 and canonical_edge(v, p) in removed
+                for v, p in enumerate(forest_parent)
+            )
+            if ok and removed:
+                # Deletions can disconnect a part (insertions cannot).
+                try:
+                    validate_partition(new_net, setup.partition)
+                except InvalidPartitionError:
+                    ok = False
+            if not ok:
+                self._cache.pop(key)
+                self._coarsened_keys.discard(key)
+                evicted += 1
+                continue
+            forest = RootedForest(new_net, forest_parent)
+            division = SubPartDivision(
+                partition=setup.partition,
+                forest=forest,
+                rep_of=setup.division.rep_of,
+                part_leader=setup.division.part_leader,
+            )
+            old_boundary = getattr(
+                setup.division, "_wave_boundary_cache", None
+            )
+            if old_boundary is not None:
+                part_of = setup.partition.part_of
+                boundary = list(old_boundary)
+                for u, v in changed:
+                    if part_of[u] != part_of[v]:
+                        continue
+                    for x in (u, v):
+                        boundary[x] = tuple(
+                            nb
+                            for nb in new_net.neighbors[x]
+                            if part_of[nb] == part_of[x]
+                            and forest.parent[x] != nb
+                            and forest.parent[nb] != x
+                        )
+                division._wave_boundary_cache = boundary
+            shortcut = Shortcut(
+                self.solver.tree, setup.partition, setup.shortcut.up_parts
+            )
+            self._cache[key] = replace(
+                setup, division=division, shortcut=shortcut
+            )
+        return evicted
+
     # ------------------------------------------------------------------
     def solve(
         self,
@@ -675,6 +1159,7 @@ class PASession:
                 )
             self.stats.sharded_fallbacks += 1
         self.stats.solves += 1
+        self._last_solve_sharded = False
         return self.solver.solve(
             setup, values, agg,
             charge_setup=charge_setup, phase_prefix=phase_prefix,
@@ -711,6 +1196,7 @@ class PASession:
             self.stats.batched_solves += len(items)
         else:
             self.stats.solves += len(items)
+        self._last_solve_sharded = False
         return self.solver.solve_many(
             setup, items, charge_setup=charge_setup,
             phase_prefix=phase_prefix, phase_prefixes=phase_prefixes,

@@ -1,0 +1,95 @@
+"""A bounded pool of PA sessions with close-on-eviction lifecycle.
+
+A service deployment typically serves several independent networks (one
+per region, per customer graph, ...), each wanting a long-lived
+:class:`~repro.runtime.PASession` for its reuse machinery — but sessions
+on the sharded backend own forked worker processes, so "keep them all
+forever" leaks pools.  :class:`SessionPool` is the standard fix: an LRU
+of sessions built on demand by a caller-supplied factory, where the
+evicted session is *closed* (its worker pool reaped), not merely
+dropped — the bug class this layer exists to prevent is the orphaned
+fork surviving on a garbage-collector technicality.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, Optional
+
+from ..runtime.session import PASession
+
+
+@dataclass
+class PoolStats:
+    """Counters describing how the pool served its lookups."""
+
+    hits: int = 0       # sessions served from the pool
+    misses: int = 0     # sessions built by the factory
+    evictions: int = 0  # sessions closed by the LRU bound
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+class SessionPool:
+    """Keyed LRU of :class:`PASession` instances; evictions close.
+
+    ``factory(key)`` builds the session for an unseen key; ``max_sessions``
+    bounds how many stay open at once.  The pool is a context manager —
+    leaving the ``with`` block closes every pooled session.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[Hashable], PASession],
+        max_sessions: int = 4,
+    ) -> None:
+        if max_sessions < 1:
+            raise ValueError(
+                f"max_sessions must be >= 1, got {max_sessions}"
+            )
+        self._factory = factory
+        self.max_sessions = max_sessions
+        self.stats = PoolStats()
+        self._sessions: "OrderedDict[Hashable, PASession]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._sessions
+
+    def get(self, key: Hashable) -> PASession:
+        """Fetch the session for ``key``, building and evicting as needed."""
+        session = self._sessions.get(key)
+        if session is not None:
+            self._sessions.move_to_end(key)
+            self.stats.hits += 1
+            return session
+        session = self._factory(key)
+        self._sessions[key] = session
+        self.stats.misses += 1
+        while len(self._sessions) > self.max_sessions:
+            _old_key, old = self._sessions.popitem(last=False)
+            old.close()
+            self.stats.evictions += 1
+        return session
+
+    def discard(self, key: Hashable) -> None:
+        """Close and drop one session (no-op for unknown keys)."""
+        session = self._sessions.pop(key, None)
+        if session is not None:
+            session.close()
+
+    def close(self) -> None:
+        """Close every pooled session; idempotent."""
+        while self._sessions:
+            _key, session = self._sessions.popitem(last=False)
+            session.close()
+
+    def __enter__(self) -> "SessionPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

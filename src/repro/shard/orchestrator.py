@@ -283,6 +283,35 @@ class ShardOrchestrator:
         )
 
     # ------------------------------------------------------------------
+    def release(self, setup: PASetup) -> None:
+        """Drop a shipped setup's pins, rank-0 and worker side (idempotent).
+
+        Called by the session when its setup cache evicts an entry or an
+        edge update invalidates it: without this the strong reference in
+        :attr:`_shipped` — and the rebuilt shard in every worker's LRU —
+        would keep the whole setup resident until enough further ships
+        aged it out.  Unknown (never-shipped or already-released) setups
+        are a no-op.
+        """
+        cached = self._shipped.get(id(setup))
+        if cached is None or cached[0] is not setup:
+            return
+        _setup, setup_id, handles = cached
+        del self._shipped[id(setup)]
+        if self._closed or not self._pipes:
+            return
+        workers_used = sorted({h.worker_index for h in handles})
+        for w in workers_used:
+            try:
+                self._pipes[w].send(("unload", setup_id))
+            except (BrokenPipeError, OSError):  # pragma: no cover - dying pool
+                continue
+        for w in workers_used:
+            try:
+                self._recv(w)
+            except (EOFError, OSError, RuntimeError):  # pragma: no cover
+                pass
+
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""
         if self._closed:

@@ -8,6 +8,8 @@ Each worker owns one end of a pipe and loops over three requests:
 * ``("solve", setup_id, solve)`` — run the planned wave phases on the
   cached shard and reply with the phase log, local aggregates, member
   values and per-phase wall seconds;
+* ``("unload", setup_id)`` — drop a cached shard (the session evicted
+  the setup; don't keep its memory until the LRU ages it out);
 * ``("close",)`` — exit.
 
 Workers are forked, so they inherit the parent's loaded modules and
@@ -111,6 +113,10 @@ def worker_main(conn) -> None:
                     raise RuntimeError(f"setup {setup_id!r} not loaded")
                 shards.move_to_end(setup_id)
                 conn.send(("result", _solve(shard, solve)))
+            elif kind == "unload":
+                _kind, setup_id = msg
+                shards.pop(setup_id, None)
+                conn.send(("ok", setup_id))
             elif kind == "close":
                 conn.send(("ok", "close"))
                 break

@@ -1,0 +1,102 @@
+"""``solve_many`` edge cases: empty, singleton, and identity-heavy batches.
+
+The batched wave pass shares one setup charge across k aggregates; the
+degenerate shapes (k=0, k=1) and values equal to an aggregation's
+identity element must behave exactly like the sequential path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PASession, PASolver
+from repro.core import MIN, SUM
+from repro.core.aggregation import MAX
+from repro.graphs import random_connected, random_connected_partition
+
+
+def _fixture():
+    net = random_connected(40, 0.08, seed=11)
+    partition = random_connected_partition(net, 6, seed=5)
+    return net, partition
+
+
+def test_empty_batch_raises_on_solver():
+    net, partition = _fixture()
+    solver = PASolver(net, seed=3)
+    setup = solver.prepare(partition)
+    with pytest.raises(ValueError):
+        solver.solve_many(setup, [])
+
+
+def test_empty_batch_raises_on_session():
+    net, partition = _fixture()
+    session = PASession(net, seed=3, batch=True)
+    setup = session.prepare(partition)
+    with pytest.raises(ValueError):
+        session.solve_many(setup, [])
+
+
+def test_phase_prefix_length_mismatch_raises():
+    net, partition = _fixture()
+    solver = PASolver(net, seed=3)
+    setup = solver.prepare(partition)
+    values = list(range(net.n))
+    with pytest.raises(ValueError):
+        solver.solve_many(
+            setup, [(values, SUM)], phase_prefixes=["a", "b"]
+        )
+
+
+def test_singleton_batch_matches_solve():
+    net, partition = _fixture()
+    values = [(v * 7) % 53 for v in range(net.n)]
+
+    batched = PASession(net, seed=3, batch=True)
+    one = batched.solve_many(batched.prepare(partition), [(values, MIN)])
+    assert len(one.per_agg) == 1
+
+    plain = PASession(net, seed=3)
+    want = plain.solve(plain.prepare(partition), values, MIN)
+    assert one.per_agg[0].aggregates == want.aggregates
+
+
+def test_mixed_batch_with_identity_values_matches_sequential():
+    net, partition = _fixture()
+    readings = [(v * 13) % 71 for v in range(net.n)]
+    zeros = [0] * net.n          # SUM's identity at every node
+    items = [(readings, MIN), (zeros, SUM), (readings, MAX)]
+
+    batched = PASession(net, seed=3, batch=True)
+    results = batched.solve_many(batched.prepare(partition), items)
+
+    sequential = PASession(net, seed=3)
+    setup = sequential.prepare(partition)
+    for got, (values, agg) in zip(results.per_agg, items):
+        want = sequential.solve(setup, values, agg, charge_setup=False)
+        assert got.aggregates == want.aggregates
+    # The all-identity aggregate really is all zeros.
+    assert all(v == 0 for v in results.per_agg[1].aggregates.values())
+
+
+def test_none_values_are_skipped_in_batch():
+    """Nodes holding ``None`` contribute nothing, same as in solve()."""
+    net, partition = _fixture()
+    values = [v if v % 2 else None for v in range(net.n)]
+    some_part = 0
+    if all(values[v] is None for v in partition.members[some_part]):
+        pytest.skip("part 0 is all-None on this instance")
+
+    batched = PASession(net, seed=3, batch=True)
+    results = batched.solve_many(
+        batched.prepare(partition), [(values, SUM)]
+    )
+    expect = {
+        pid: sum(values[v] for v in partition.members[pid]
+                 if values[v] is not None)
+        for pid in range(partition.num_parts)
+        if any(values[v] is not None for v in partition.members[pid])
+    }
+    got = results.per_agg[0].aggregates
+    for pid, total in expect.items():
+        assert got[pid] == total

@@ -6,12 +6,36 @@ import os
 
 import pytest
 
-from repro.procpool import lift_wall_gate, resolve_workers
+import repro.procpool as procpool
+from repro.procpool import available_cpus, lift_wall_gate, resolve_workers
 
 
-def test_auto_resolves_to_cpu_count():
+def test_auto_resolves_to_available_cpus():
+    assert resolve_workers("auto") == available_cpus()
+    assert resolve_workers(None) == available_cpus()
+
+
+def test_auto_respects_the_affinity_mask(monkeypatch):
+    """cgroup-limited containers: size by what the scheduler grants."""
+    monkeypatch.setattr(
+        procpool.os, "sched_getaffinity", lambda pid: {0, 2, 5}, raising=False
+    )
+    assert available_cpus() == 3
+    assert resolve_workers("auto") == 3
+
+
+def test_auto_falls_back_to_cpu_count_without_affinity(monkeypatch):
+    """Platforms without sched_getaffinity (macOS/Windows) keep working."""
+    monkeypatch.delattr(procpool.os, "sched_getaffinity", raising=False)
+    assert available_cpus() == (os.cpu_count() or 1)
     assert resolve_workers("auto") == (os.cpu_count() or 1)
-    assert resolve_workers(None) == (os.cpu_count() or 1)
+
+
+def test_empty_affinity_mask_never_returns_zero(monkeypatch):
+    monkeypatch.setattr(
+        procpool.os, "sched_getaffinity", lambda pid: set(), raising=False
+    )
+    assert available_cpus() == 1
 
 
 def test_explicit_counts():
